@@ -1,0 +1,89 @@
+// Ablation A2: synchronous rounds vs asynchronous message delays.
+//
+// The model of Section 2.1 is synchronous; this ablation re-runs the
+// threshold protocol under per-message random delays (net/async_simulator)
+// and compares settle times and work.  Expected shape: the asynchronous
+// process remains stable (same load bound by construction) and its settle
+// time scales with the mean message delay, supporting the Section 4 claim
+// that the simple threshold structure tolerates less idealized execution.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "net/async_simulator.hpp"
+#include "sim/figure.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace saer;
+  const CliArgs args(argc, argv);
+  const std::string csv = figure_preamble(
+      args, "ablation_async",
+      "threshold protocol under asynchronous message delays");
+
+  const auto n = static_cast<NodeId>(args.get_uint("n", 8192));
+  const auto d = static_cast<std::uint32_t>(args.get_uint("d", 2));
+  const double c = args.get_double("c", 2.0);
+  const auto delays = args.get_uint_list("delays", {1, 2, 4, 8, 16});
+  const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 3));
+  const std::uint64_t seed = args.get_uint("seed", 42);
+  const std::string topology = args.get("topology", "regular");
+  benchfig::reject_unknown_flags(args);
+
+  const GraphFactory factory = benchfig::make_factory(topology, n);
+
+  // Synchronous reference.
+  Accumulator sync_rounds, sync_work;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    const BipartiteGraph g = factory(replication_seed(seed, 2 * rep + 1));
+    ProtocolParams params;
+    params.d = d;
+    params.c = c;
+    params.seed = replication_seed(seed, 2 * rep);
+    const RunResult res = run_protocol(g, params);
+    sync_rounds.add(res.rounds);
+    sync_work.add(res.work_per_ball());
+  }
+
+  FigureWriter fig(
+      "A2  async execution  (n=" + Table::num(std::uint64_t{n}) +
+          ", d=" + std::to_string(d) + ", c=" + Table::num(c, 1) +
+          "; sync reference: " + Table::num(sync_rounds.mean(), 1) +
+          " rounds, " + Table::num(sync_work.mean(), 2) + " msg/ball)",
+      {"max_delay", "settle_mean", "settle_p99", "finish_time",
+       "work_per_ball", "max_load", "completed"},
+      csv);
+
+  for (const std::uint64_t delay : delays) {
+    Accumulator settle, p99, finish, work, load;
+    bool all_completed = true;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      const BipartiteGraph g = factory(replication_seed(seed, 2 * rep + 1));
+      AsyncParams params;
+      params.base.d = d;
+      params.base.c = c;
+      params.base.seed = replication_seed(seed, 2 * rep);
+      params.max_delay = static_cast<std::uint32_t>(delay);
+      const AsyncResult res = run_async(g, params);
+      all_completed = all_completed && res.completed;
+      settle.add(res.settle_mean);
+      p99.add(static_cast<double>(res.settle_p99));
+      finish.add(static_cast<double>(res.finish_time));
+      work.add(static_cast<double>(res.work_messages) /
+               static_cast<double>(res.total_balls));
+      load.add(static_cast<double>(res.max_load));
+    }
+    fig.add_row({Table::num(delay), Table::num(settle.mean(), 2),
+                 Table::num(p99.mean(), 1), Table::num(finish.mean(), 1),
+                 Table::num(work.mean(), 3), Table::num(load.mean(), 2),
+                 all_completed ? "yes" : "NO"});
+  }
+  fig.finish();
+  std::printf(
+      "expected shape: settle time grows linearly in the mean delay with "
+      "work/ball near the synchronous value; load bound c*d never violated "
+      "(per-request threshold rule is delay-oblivious)\n");
+  return 0;
+}

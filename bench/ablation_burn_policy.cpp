@@ -1,0 +1,69 @@
+// Ablation A1: burned (SAER) vs saturated (RAES) rejection policies.
+//
+// The single design difference between the two protocols is what a server
+// does after its threshold trips: SAER stops accepting forever (burned),
+// RAES only rejects rounds that would overflow (saturated, transient).
+// DESIGN.md calls this the key design choice; this ablation quantifies its
+// cost across the capacity range where it matters (small c), per round.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "sim/figure.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace saer;
+  const CliArgs args(argc, argv);
+  const std::string csv = figure_preamble(
+      args, "ablation_burn_policy",
+      "cost of burning vs transient saturation across tight capacities");
+
+  const auto n = static_cast<NodeId>(args.get_uint("n", 16384));
+  const auto d = static_cast<std::uint32_t>(args.get_uint("d", 2));
+  const auto cs = args.get_double_list("cs", {1.1, 1.25, 1.5, 2.0, 3.0});
+  const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
+  const std::uint64_t seed = args.get_uint("seed", 42);
+  const std::string topology = args.get("topology", "regular");
+  benchfig::reject_unknown_flags(args);
+
+  FigureWriter fig(
+      "A1  burn policy ablation  (n=" + Table::num(std::uint64_t{n}) +
+          ", d=" + std::to_string(d) + ", topology=" + topology + ")",
+      {"c", "saer_rounds", "raes_rounds", "slowdown", "saer_burned_frac",
+       "saer_lost_capacity", "failures"},
+      csv);
+
+  for (const double c : cs) {
+    ExperimentConfig cfg;
+    cfg.params.d = d;
+    cfg.params.c = c;
+    cfg.replications = reps;
+    cfg.master_seed = seed;
+    const GraphFactory factory = benchfig::make_factory(topology, n);
+    cfg.params.protocol = Protocol::kSaer;
+    const Aggregate saer = run_replicated(factory, cfg);
+    cfg.params.protocol = Protocol::kRaes;
+    const Aggregate raes = run_replicated(factory, cfg);
+
+    // A burned server strands (cap - load) slots forever; approximate the
+    // stranded fraction by burned_fraction * average headroom.
+    const double slowdown = raes.rounds.mean() > 0
+                                ? saer.rounds.mean() / raes.rounds.mean()
+                                : 0.0;
+    fig.add_row(
+        {Table::num(c, 2), Table::num(saer.rounds.mean(), 2),
+         Table::num(raes.rounds.mean(), 2), Table::num(slowdown, 2),
+         Table::num(saer.burned_fraction.mean(), 4),
+         Table::pct(saer.burned_fraction.mean()),  // upper bound on stranded
+         Table::num(std::uint64_t{saer.failed + raes.failed})});
+  }
+  fig.finish();
+  std::printf(
+      "expected shape: SAER pays a growing rounds premium over RAES as c "
+      "approaches 1 (burned servers strand capacity); the gap vanishes for "
+      "comfortable c.  Corollary 2 is the formal statement that RAES "
+      "dominates SAER.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+#pragma once
+// Shared plumbing for the figure binaries: topology factories by name and
+// the default parameter grid.  Every binary accepts:
+//   --sizes n1,n2,...     client counts
+//   --d <int>             request number
+//   --c <double>          capacity multiplier
+//   --reps <int>          replications per point
+//   --seed <int>          master seed
+//   --topology <name>     regular | ring | grid-free topologies below
+//   --csv <path>          also write the series as CSV
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "sim/experiment.hpp"
+#include "util/cli.hpp"
+
+namespace saer::benchfig {
+
+/// Topology factory by name at the theorem degree scale.
+inline GraphFactory make_factory(const std::string& topology, NodeId n) {
+  if (topology == "regular") {
+    return [n](std::uint64_t seed) {
+      return random_regular(n, theorem_degree(n), seed);
+    };
+  }
+  if (topology == "ring") {
+    return [n](std::uint64_t) { return ring_proximity(n, theorem_degree(n)); };
+  }
+  if (topology == "trust") {
+    return [n](std::uint64_t seed) {
+      const std::uint32_t groups = 4;
+      const std::uint32_t delta =
+          std::min<std::uint32_t>(theorem_degree(n), n / groups);
+      return trust_groups(n, delta, groups, seed);
+    };
+  }
+  if (topology == "almost") {
+    return [n](std::uint64_t seed) {
+      AlmostRegularParams p;
+      p.base_delta = theorem_degree(n);
+      p.heavy_delta = std::max<std::uint32_t>(
+          2 * p.base_delta,
+          static_cast<std::uint32_t>(std::sqrt(static_cast<double>(n))));
+      p.heavy_fraction = 0.02;
+      return almost_regular(n, p, seed);
+    };
+  }
+  throw std::invalid_argument("unknown --topology " + topology +
+                              " (regular|ring|trust|almost)");
+}
+
+/// Rejects typo'd flags with a readable message; call after all getters.
+inline void reject_unknown_flags(const CliArgs& args) {
+  const auto unknown = args.unknown_flags();
+  if (!unknown.empty()) {
+    throw std::invalid_argument("unknown flag --" + unknown.front());
+  }
+}
+
+}  // namespace saer::benchfig

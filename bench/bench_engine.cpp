@@ -1,0 +1,156 @@
+// B1: google-benchmark microbenchmarks of the engine, the message-level
+// simulator, the generators, and the baselines.  These measure throughput
+// of the implementation itself (balls placed per second, rounds per
+// second), complementing the figure binaries that measure the protocol.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "baselines/one_shot.hpp"
+#include "baselines/sequential_greedy.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "net/simulator.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace saer;
+
+const BipartiteGraph& cached_regular(NodeId n) {
+  static std::map<NodeId, BipartiteGraph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, random_regular(n, theorem_degree(n), 7)).first;
+  }
+  return it->second;
+}
+
+void BM_SaerRun(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const BipartiteGraph& g = cached_regular(n);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 2.0;
+  params.record_trace = false;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    params.seed = ++seed;
+    const RunResult res = run_protocol(g, params);
+    benchmark::DoNotOptimize(res.max_load);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * 2);
+  state.counters["balls/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n * 2,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SaerRun)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_RaesRun(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const BipartiteGraph& g = cached_regular(n);
+  ProtocolParams params;
+  params.protocol = Protocol::kRaes;
+  params.d = 2;
+  params.c = 2.0;
+  params.record_trace = false;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    params.seed = ++seed;
+    benchmark::DoNotOptimize(run_protocol(g, params).max_load);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * 2);
+}
+BENCHMARK(BM_RaesRun)->Arg(1 << 12);
+
+void BM_SaerDeepTrace(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const BipartiteGraph& g = cached_regular(n);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 2.0;
+  params.deep_trace = true;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    params.seed = ++seed;
+    benchmark::DoNotOptimize(run_protocol(g, params).rounds);
+  }
+}
+BENCHMARK(BM_SaerDeepTrace)->Arg(1 << 12);
+
+void BM_MessageSimulator(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const BipartiteGraph& g = cached_regular(n);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 2.0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    params.seed = ++seed;
+    benchmark::DoNotOptimize(run_message_simulation(g, params).rounds);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * 2);
+}
+BENCHMARK(BM_MessageSimulator)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_GenerateRegular(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        random_regular(n, theorem_degree(n), ++seed).num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          theorem_degree(n));
+}
+BENCHMARK(BM_GenerateRegular)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_GenerateRing(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ring_proximity(n, theorem_degree(n)).num_edges());
+  }
+}
+BENCHMARK(BM_GenerateRing)->Arg(1 << 12);
+
+void BM_OneShot(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const BipartiteGraph& g = cached_regular(n);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(one_shot_random(g, 2, ++seed).max_load);
+  }
+}
+BENCHMARK(BM_OneShot)->Arg(1 << 12);
+
+void BM_SequentialGreedy2(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const BipartiteGraph& g = cached_regular(n);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sequential_greedy_k(g, 2, 2, ++seed).max_load);
+  }
+}
+BENCHMARK(BM_SequentialGreedy2)->Arg(1 << 12);
+
+void BM_SaerThreads(benchmark::State& state) {
+  const BipartiteGraph& g = cached_regular(1 << 14);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 2.0;
+  params.record_trace = false;
+  set_thread_count(static_cast<int>(state.range(0)));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    params.seed = ++seed;
+    benchmark::DoNotOptimize(run_protocol(g, params).max_load);
+  }
+  set_thread_count(0);
+}
+BENCHMARK(BM_SaerThreads)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

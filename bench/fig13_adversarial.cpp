@@ -1,0 +1,81 @@
+// Figure F13: adversarial dependence stress (Section 1.2).
+//
+// The analytic difficulty of the sparse case is that r_t(N(v)) depends on
+// the topology and on all previous random choices.  The shared-blocks
+// topology maximizes that dependence: whole blocks of clients share one
+// neighborhood, so one unlucky block saturates all of its servers at once
+// (a closed sub-system of delta clients vs delta servers).  The figure
+// compares completion/failure across independence regimes at equal degree:
+// random regular (weakest dependence), ring (overlapping chains), and
+// shared blocks (maximal), for a c sweep.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/figure.hpp"
+
+int main(int argc, char** argv) {
+  using namespace saer;
+  const CliArgs args(argc, argv);
+  const std::string csv = figure_preamble(
+      args, "fig13_adversarial",
+      "dependence stress: random vs ring vs shared-block neighborhoods");
+
+  const auto n = static_cast<NodeId>(args.get_uint("n", 16384));
+  const auto d = static_cast<std::uint32_t>(args.get_uint("d", 2));
+  const auto cs = args.get_double_list("cs", {1.25, 1.5, 2.0, 4.0});
+  const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
+  const std::uint64_t seed = args.get_uint("seed", 42);
+  benchfig::reject_unknown_flags(args);
+
+  // Equal degree everywhere; shared_blocks needs delta | n.
+  std::uint32_t delta = theorem_degree(n);
+  while (n % delta != 0) ++delta;
+
+  struct Family {
+    std::string label;
+    GraphFactory factory;
+  };
+  const std::vector<Family> families = {
+      {"random regular", [n, delta](std::uint64_t s) {
+         return random_regular(n, delta, s);
+       }},
+      {"ring proximity", [n, delta](std::uint64_t) {
+         return ring_proximity(n, delta);
+       }},
+      {"shared blocks (adversarial)", [n, delta](std::uint64_t) {
+         return shared_blocks(n, delta);
+       }},
+  };
+
+  FigureWriter fig(
+      "F13  dependence stress  (n=" + Table::num(std::uint64_t{n}) +
+          ", delta=" + Table::num(std::uint64_t{delta}) +
+          ", d=" + std::to_string(d) + ")",
+      {"topology", "c", "rounds_mean", "rounds_max", "work_per_ball",
+       "burned_frac", "failure_rate"},
+      csv);
+
+  for (const Family& family : families) {
+    for (const double c : cs) {
+      ExperimentConfig cfg;
+      cfg.params.d = d;
+      cfg.params.c = c;
+      cfg.replications = reps;
+      cfg.master_seed = seed;
+      const Aggregate agg = run_replicated(family.factory, cfg);
+      fig.add_row({family.label, Table::num(c, 2),
+                   Table::num(agg.rounds.mean(), 2),
+                   Table::num(agg.rounds.count() ? agg.rounds.max() : 0, 0),
+                   Table::num(agg.work_per_ball.mean(), 3),
+                   Table::num(agg.burned_fraction.mean(), 4),
+                   Table::pct(agg.failure_rate())});
+    }
+  }
+  fig.finish();
+  std::printf(
+      "expected shape: all three families stay within Theorem 1's bounds "
+      "(all are delta-regular); shared blocks pays the largest constants at "
+      "tight c because whole neighborhoods saturate together\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure F17: sequential greedy vs degree (Kenthapadi & Panigrahy, §1.3).
+//
+// Their theorem: on restricted graphs with |N(v)| >= n^{Theta(1/log log n)},
+// sequential best-of-2 achieves max load Theta(log log n).  This figure
+// sweeps the degree from very sparse to dense and contrasts greedy-2's max
+// load with SAER's bound and one-shot's -- locating where the two-choice
+// effect needs degree to kick in, versus SAER which only needs log^2 n.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/one_shot.hpp"
+#include "baselines/sequential_greedy.hpp"
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "sim/figure.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace saer;
+  const CliArgs args(argc, argv);
+  const std::string csv = figure_preamble(
+      args, "fig17_greedy_degree",
+      "sequential greedy-2 max load vs neighborhood size (K&P regime)");
+
+  const auto n = static_cast<NodeId>(args.get_uint("n", 16384));
+  const auto d = static_cast<std::uint32_t>(args.get_uint("d", 1));
+  const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
+  const std::uint64_t seed = args.get_uint("seed", 42);
+  benchfig::reject_unknown_flags(args);
+
+  const double log2n = std::log2(static_cast<double>(n));
+  std::vector<std::uint32_t> deltas = {
+      2, 4,
+      static_cast<std::uint32_t>(std::lround(log2n)),
+      static_cast<std::uint32_t>(std::lround(log2n * log2n)),
+      static_cast<std::uint32_t>(std::lround(std::sqrt(n))),
+      static_cast<std::uint32_t>(std::lround(std::pow(
+          static_cast<double>(n), 1.0 / std::log2(std::log2(
+                                            static_cast<double>(n)))))),
+  };
+  std::sort(deltas.begin(), deltas.end());
+  deltas.erase(std::unique(deltas.begin(), deltas.end()), deltas.end());
+
+  FigureWriter fig(
+      "F17  greedy-2 vs degree  (n=" + Table::num(std::uint64_t{n}) +
+          ", d=" + std::to_string(d) +
+          ", lnln n=" + Table::num(std::log(std::log(static_cast<double>(n))), 2) +
+          ")",
+      {"delta", "greedy2_max_load", "oneshot_max_load", "saer_max_load(c=2)",
+       "saer_rounds (0 = incomplete)"},
+      csv);
+
+  for (const std::uint32_t delta : deltas) {
+    Accumulator greedy_load, oneshot_load, saer_load, saer_rounds;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      const std::uint64_t gseed = replication_seed(seed, 2 * rep + 1);
+      const std::uint64_t pseed = replication_seed(seed, 2 * rep);
+      const BipartiteGraph g = random_regular(n, delta, gseed);
+      greedy_load.add(
+          static_cast<double>(sequential_greedy_k(g, d, 2, pseed).max_load));
+      oneshot_load.add(
+          static_cast<double>(one_shot_random(g, d, pseed).max_load));
+      ProtocolParams params;
+      params.d = d;
+      params.c = 2.0;
+      params.seed = pseed;
+      const RunResult res = run_protocol(g, params);
+      saer_load.add(static_cast<double>(res.max_load));
+      saer_rounds.add(res.completed ? res.rounds : 0);
+    }
+    fig.add_row({Table::num(std::uint64_t{delta}),
+                 Table::num(greedy_load.mean(), 2),
+                 Table::num(oneshot_load.mean(), 2),
+                 Table::num(saer_load.mean(), 2),
+                 Table::num(saer_rounds.mean(), 1)});
+  }
+  fig.finish();
+  std::printf(
+      "expected shape: greedy-2 approaches the Theta(log log n) plateau "
+      "once neighborhoods are large enough (K&P need n^(1/log log n) ~ "
+      "%0.f here); one-shot stays at Theta(log n/log log n); SAER caps at "
+      "c*d regardless, trading rounds\n",
+      std::pow(static_cast<double>(n),
+               1.0 / std::log2(std::log2(static_cast<double>(n)))));
+  return 0;
+}

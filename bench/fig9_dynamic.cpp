@@ -1,0 +1,74 @@
+// Figure F9: dynamic regime (Section 4 future work).  Online client
+// arrivals plus permanent server failures on a proximity topology; the
+// paper conjectures SAER reaches a metastable regime with good
+// performance.  Reported: backlog peak, latency percentiles, max load.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/dynamic.hpp"
+#include "sim/figure.hpp"
+
+int main(int argc, char** argv) {
+  using namespace saer;
+  const CliArgs args(argc, argv);
+  const std::string csv = figure_preamble(
+      args, "fig9_dynamic",
+      "online arrivals + server churn: metastability of SAER (Section 4)");
+
+  const auto n = static_cast<NodeId>(args.get_uint("n", 16384));
+  const auto d = static_cast<std::uint32_t>(args.get_uint("d", 2));
+  const double c = args.get_double("c", 4.0);
+  const std::uint64_t seed = args.get_uint("seed", 42);
+  benchfig::reject_unknown_flags(args);
+
+  const BipartiteGraph graph = ring_proximity(n, theorem_degree(n));
+
+  struct Scenario {
+    std::string label;
+    std::uint32_t arrivals;  // clients per round (0 = all at once)
+    double failure_rate;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"all-at-once, no churn", 0, 0.0},
+      {"n/64 per round, no churn", n / 64, 0.0},
+      {"n/256 per round, no churn", n / 256, 0.0},
+      {"n/64 per round, 0.01% churn", n / 64, 0.0001},
+      {"n/64 per round, 0.1% churn", n / 64, 0.001},
+      {"n/256 per round, 0.1% churn", n / 256, 0.001},
+  };
+
+  FigureWriter fig(
+      "F9  dynamic regime on ring proximity  (n=" +
+          Table::num(std::uint64_t{n}) + ", d=" + std::to_string(d) +
+          ", c=" + Table::num(c, 1) + ")",
+      {"scenario", "rounds", "completed", "backlog_peak", "latency_p50",
+       "latency_p99", "max_load", "burned", "failed_servers"},
+      csv);
+
+  for (const Scenario& sc : scenarios) {
+    DynamicParams p;
+    p.base.d = d;
+    p.base.c = c;
+    p.base.seed = seed;
+    p.arrivals_per_round = sc.arrivals;
+    p.server_failure_rate = sc.failure_rate;
+    const DynamicResult res = run_dynamic(graph, p);
+    std::uint64_t backlog_peak = 0;
+    for (std::uint64_t b : res.backlog_series)
+      backlog_peak = std::max(backlog_peak, b);
+    fig.add_row({sc.label, Table::num(std::uint64_t{res.rounds}),
+                 res.completed ? "yes" : "NO", Table::num(backlog_peak),
+                 Table::num(std::uint64_t{res.latency_p50}),
+                 Table::num(std::uint64_t{res.latency_p99}),
+                 Table::num(res.max_load), Table::num(res.burned_servers),
+                 Table::num(res.failed_servers)});
+  }
+  fig.finish();
+  std::printf(
+      "expected shape: staggered arrivals keep the backlog a small fraction "
+      "of n*d with p99 latency O(1) rounds; mild churn tolerated without "
+      "load-bound violations (metastable regime conjectured in Section 4)\n");
+  return 0;
+}

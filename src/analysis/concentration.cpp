@@ -1,0 +1,64 @@
+#include "analysis/concentration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace saer {
+
+double chernoff_upper_bound(double mu, double eps) {
+  if (mu < 0) throw std::invalid_argument("chernoff_upper_bound: mu < 0");
+  if (eps <= 0.0 || eps > 1.0)
+    throw std::invalid_argument("chernoff_upper_bound: eps outside (0,1]");
+  return std::min(1.0, std::exp(-eps * eps * mu / 3.0));
+}
+
+double chernoff_lower_bound(double mu, double eps) {
+  if (mu < 0) throw std::invalid_argument("chernoff_lower_bound: mu < 0");
+  if (eps <= 0.0 || eps > 1.0)
+    throw std::invalid_argument("chernoff_lower_bound: eps outside (0,1]");
+  return std::min(1.0, std::exp(-eps * eps * mu / 2.0));
+}
+
+double bounded_differences_bound(double m_coords, double beta,
+                                 double deviation) {
+  if (m_coords <= 0 || beta <= 0)
+    throw std::invalid_argument("bounded_differences_bound: bad coefficients");
+  if (deviation <= 0) return 1.0;
+  return std::min(1.0,
+                  std::exp(-2.0 * deviation * deviation /
+                           (m_coords * beta * beta)));
+}
+
+double union_bound(double events, double per_event_probability) {
+  if (events < 0 || per_event_probability < 0)
+    throw std::invalid_argument("union_bound: negative inputs");
+  return std::min(1.0, events * per_event_probability);
+}
+
+double whp_failure_budget(std::uint64_t n, double gamma) {
+  if (n == 0) throw std::invalid_argument("whp_failure_budget: n == 0");
+  return std::pow(static_cast<double>(n), -gamma);
+}
+
+WilsonInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                               double z) {
+  WilsonInterval w;
+  if (trials == 0) {
+    w.center = 0.5;
+    w.half_width = 0.5;
+    return w;
+  }
+  if (successes > trials)
+    throw std::invalid_argument("wilson_interval: successes > trials");
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  w.center = (p + z2 / (2.0 * n)) / denom;
+  w.half_width =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return w;
+}
+
+}  // namespace saer

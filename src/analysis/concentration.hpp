@@ -1,0 +1,47 @@
+#pragma once
+// The paper's Appendix A "Mathematical tools" as executable calculators:
+// Chernoff bounds for negatively associated Bernoulli sums (Theorem 16),
+// the method of bounded differences (Theorem 17), the union bound, and the
+// w.h.p. convention (footnote 6).  The test suite uses them to check that
+// measured tail frequencies of the simulated process stay below the bounds
+// the analysis relies on; the figure binaries print them next to data.
+
+#include <cstdint>
+
+namespace saer {
+
+/// Theorem 16: for negatively associated X_i in {0,1} with mean sum mu and
+/// eps in (0, 1],  Pr(X >= (1+eps) mu) <= exp(-eps^2 mu / 3).
+[[nodiscard]] double chernoff_upper_bound(double mu, double eps);
+
+/// Multiplicative lower-tail version (standard companion bound):
+/// Pr(X <= (1-eps) mu) <= exp(-eps^2 mu / 2).
+[[nodiscard]] double chernoff_lower_bound(double mu, double eps);
+
+/// Theorem 17 (method of bounded differences) for uniform Lipschitz
+/// coefficient beta over m coordinates:
+/// Pr(f - mu >= M) <= exp(-2 M^2 / (m beta^2)).
+[[nodiscard]] double bounded_differences_bound(double m_coords, double beta,
+                                               double deviation);
+
+/// Union bound helper: min(1, events * per_event_probability).
+[[nodiscard]] double union_bound(double events, double per_event_probability);
+
+/// The paper's w.h.p. convention (footnote 6): event probability
+/// >= 1 - n^-gamma.  Returns the failure budget n^-gamma.
+[[nodiscard]] double whp_failure_budget(std::uint64_t n, double gamma);
+
+/// Wilson score interval half-width for an empirical frequency k/n at 95%
+/// confidence -- used when the tests compare measured tail frequencies with
+/// the theoretical bounds above.
+struct WilsonInterval {
+  double center = 0;
+  double half_width = 0;
+  [[nodiscard]] double lower() const { return center - half_width; }
+  [[nodiscard]] double upper() const { return center + half_width; }
+};
+[[nodiscard]] WilsonInterval wilson_interval(std::uint64_t successes,
+                                             std::uint64_t trials,
+                                             double z = 1.96);
+
+}  // namespace saer

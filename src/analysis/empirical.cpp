@@ -1,0 +1,67 @@
+#include "analysis/empirical.hpp"
+
+#include <stdexcept>
+
+#include "core/engine.hpp"
+#include "util/rng.hpp"
+
+namespace saer {
+
+double success_rate(const GraphBuilder& builder, const MinCOptions& options,
+                    double c) {
+  std::uint32_t successes = 0;
+  for (std::uint32_t rep = 0; rep < options.replications; ++rep) {
+    const BipartiteGraph graph =
+        builder(replication_seed(options.master_seed, 2ULL * rep + 1));
+    ProtocolParams params;
+    params.protocol = options.protocol;
+    params.d = options.d;
+    params.c = c;
+    params.seed = replication_seed(options.master_seed, 2ULL * rep);
+    params.max_rounds = options.max_rounds;
+    params.record_trace = false;
+    if (run_protocol(graph, params).completed) ++successes;
+  }
+  return static_cast<double>(successes) /
+         static_cast<double>(options.replications);
+}
+
+MinCResult find_min_c(const GraphBuilder& builder, const MinCOptions& options) {
+  if (!(options.c_low > 0) || options.c_high <= options.c_low)
+    throw std::invalid_argument("find_min_c: need 0 < c_low < c_high");
+  if (options.target_success <= 0 || options.target_success > 1.0)
+    throw std::invalid_argument("find_min_c: target_success outside (0,1]");
+
+  MinCResult result;
+  double lo = options.c_low;
+  double hi = options.c_high;
+  double hi_rate = success_rate(builder, options, hi);
+  ++result.evaluations;
+  if (hi_rate < options.target_success)
+    throw std::runtime_error(
+        "find_min_c: protocol does not reach the target even at c_high");
+  // If even c_low succeeds, report it directly.
+  const double lo_rate = success_rate(builder, options, lo);
+  ++result.evaluations;
+  if (lo_rate >= options.target_success) {
+    result.min_c = lo;
+    result.success_at_min = lo_rate;
+    return result;
+  }
+  while (hi - lo > options.tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    const double rate = success_rate(builder, options, mid);
+    ++result.evaluations;
+    if (rate >= options.target_success) {
+      hi = mid;
+      hi_rate = rate;
+    } else {
+      lo = mid;
+    }
+  }
+  result.min_c = hi;
+  result.success_at_min = hi_rate;
+  return result;
+}
+
+}  // namespace saer

@@ -1,0 +1,49 @@
+#pragma once
+// Empirical estimators that confront the analysis constants with data.
+//
+// The headline tool is the minimal-c finder: the proof needs
+// c >= max(32 rho, 288/(eta d)) (Lemma 4/19), but those constants are
+// loose by the authors' own remark (footnote 12).  find_min_c locates, by
+// bisection over c with replicated runs, the smallest capacity multiplier
+// at which the protocol reaches a target success rate -- quantifying the
+// gap between the provable and the practical constant.
+
+#include <cstdint>
+#include <functional>
+
+#include "core/protocol.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+using GraphBuilder = std::function<BipartiteGraph(std::uint64_t seed)>;
+
+struct MinCResult {
+  double min_c = 0;            ///< smallest c meeting the target (within tol)
+  double success_at_min = 0;   ///< measured success rate at min_c
+  std::uint32_t evaluations = 0;  ///< bisection probes performed
+};
+
+struct MinCOptions {
+  Protocol protocol = Protocol::kSaer;
+  std::uint32_t d = 1;
+  double target_success = 1.0;  ///< fraction of replications that must complete
+  std::uint32_t replications = 5;
+  double c_low = 1.0;           ///< assumed failing (or trivially low)
+  double c_high = 64.0;         ///< assumed succeeding
+  double tolerance = 0.125;     ///< bisection stops at this c-resolution
+  std::uint64_t master_seed = 42;
+  /// Completion must also happen within this horizon (0 = engine default).
+  std::uint32_t max_rounds = 0;
+};
+
+/// Success rate of the protocol at a given c over replicated runs.
+[[nodiscard]] double success_rate(const GraphBuilder& builder,
+                                  const MinCOptions& options, double c);
+
+/// Bisection for the empirical capacity threshold.  Requires
+/// success_rate(c_high) >= target (throws otherwise).
+[[nodiscard]] MinCResult find_min_c(const GraphBuilder& builder,
+                                    const MinCOptions& options);
+
+}  // namespace saer

@@ -1,0 +1,71 @@
+#include "analysis/recurrences.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace saer {
+
+std::vector<double> GammaSequence::values(std::uint32_t t) const {
+  if (!(c > 0.0) || !(ratio > 0.0))
+    throw std::invalid_argument("GammaSequence: c and ratio must be > 0");
+  // gamma_t = (2 ratio / c) * sum_{i=1..t} prod_{j=0..i-1} gamma_j,
+  // evaluated incrementally: gamma_{t+1} = gamma_t + (2 ratio/c) prod_{j<=t}.
+  std::vector<double> g;
+  g.reserve(t + 1);
+  g.push_back(1.0);  // gamma_0
+  const double rate = 2.0 * ratio / c;
+  double prefix = 1.0;  // prod_{j=0}^{i-1} gamma_j, starts at gamma_0 = 1
+  double current = 0.0;
+  for (std::uint32_t i = 1; i <= t; ++i) {
+    current += rate * prefix;  // adds the i-th summand
+    g.push_back(current);
+    prefix *= current;
+  }
+  return g;
+}
+
+std::vector<double> GammaSequence::prefix_products(std::uint32_t t_max) const {
+  const std::vector<double> g = values(t_max);
+  std::vector<double> prod;
+  prod.reserve(t_max + 1);
+  prod.push_back(1.0);
+  for (std::uint32_t t = 1; t <= t_max; ++t)
+    prod.push_back(prod.back() * g[t - 1]);
+  return prod;
+}
+
+double GammaSequence::alpha() const { return std::sqrt(c / (2.0 * ratio)); }
+
+double delta_t(std::uint32_t t, double c, std::uint32_t d, double delta_min,
+               std::uint64_t n) {
+  if (!(c > 0.0) || d == 0 || !(delta_min > 0.0))
+    throw std::invalid_argument("delta_t: bad parameters");
+  const double logn = std::log(static_cast<double>(n));
+  return 0.25 + 24.0 * static_cast<double>(t) * logn /
+                    (c * static_cast<double>(d) * delta_min);
+}
+
+std::uint32_t stage_boundary_T(double c, double ratio, std::uint32_t d,
+                               double delta_max_s, std::uint64_t n) {
+  const double target = 12.0 * std::log(static_cast<double>(n));
+  const GammaSequence seq{c, ratio};
+  const std::uint32_t horizon = analysis_horizon(n) + 1;
+  const std::vector<double> prod = seq.prefix_products(horizon);
+  for (std::uint32_t t = 0; t <= horizon; ++t) {
+    if (static_cast<double>(d) * delta_max_s * prod[t] <= target) return t;
+  }
+  return horizon;
+}
+
+double admissible_c(double eta, double rho, std::uint32_t d) {
+  if (!(eta > 0.0) || !(rho > 0.0) || d == 0)
+    throw std::invalid_argument("admissible_c: bad parameters");
+  return std::max(32.0 * rho, 288.0 / (eta * static_cast<double>(d)));
+}
+
+std::uint32_t analysis_horizon(std::uint64_t n) {
+  const double logn = n > 1 ? std::log(static_cast<double>(n)) : 1.0;
+  return static_cast<std::uint32_t>(std::floor(3.0 * logn));
+}
+
+}  // namespace saer

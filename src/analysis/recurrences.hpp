@@ -1,0 +1,47 @@
+#pragma once
+// The analysis-side sequences of Section 3: the Stage-I envelope gamma_t
+// (recurrence (11), generalized to (32) for almost-regular graphs) and the
+// Stage-II envelope delta_t (definition (17)/(39)).  The fig3/fig8 benches
+// plot measured K_t against these envelopes.
+
+#include <cstdint>
+#include <vector>
+
+namespace saer {
+
+/// Parameters of the gamma recurrence.  `ratio` is Delta_max(S)/Delta_min(C)
+/// (=1 in the regular case), so gamma'_t = (2 ratio / c) sum_i prod_j gamma'_j.
+struct GammaSequence {
+  double c = 32.0;
+  double ratio = 1.0;
+
+  /// gamma_0..gamma_t (inclusive). gamma_0 = 1.
+  [[nodiscard]] std::vector<double> values(std::uint32_t t) const;
+  /// prod_{j=0}^{t-1} gamma_j for t = 0..t_max (inclusive); index 0 is the
+  /// empty product 1.  This is the Stage-I decay envelope of E[r_t(N(v))].
+  [[nodiscard]] std::vector<double> prefix_products(std::uint32_t t_max) const;
+  /// The alpha of Lemma 12: largest alpha with 2*ratio/c <= 1/alpha^2.
+  [[nodiscard]] double alpha() const;
+};
+
+/// Stage-II envelope delta_t = 1/4 + 24 t log n / (c d Delta_min)
+/// (definition (17), and (39) with Delta_min(C)).
+/// Uses natural log consistently with the paper's `log`.
+[[nodiscard]] double delta_t(std::uint32_t t, double c, std::uint32_t d,
+                             double delta_min, std::uint64_t n);
+
+/// Stage boundary T: smallest t with d*Delta_max * prod_{j<t} gamma_j <=
+/// 12 log n (equations (14)/(36)).  Returns 0 if the condition already
+/// holds at t = 0.
+[[nodiscard]] std::uint32_t stage_boundary_T(double c, double ratio,
+                                             std::uint32_t d, double delta_max_s,
+                                             std::uint64_t n);
+
+/// The admissible threshold of Lemma 4 / Lemma 19:
+/// c >= max(32 rho, 288 / (eta d)).
+[[nodiscard]] double admissible_c(double eta, double rho, std::uint32_t d);
+
+/// The 3 log n round horizon used throughout the analysis (natural log).
+[[nodiscard]] std::uint32_t analysis_horizon(std::uint64_t n);
+
+}  // namespace saer

@@ -1,0 +1,43 @@
+#include "analysis/theory.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/recurrences.hpp"
+
+namespace saer {
+
+TheoremPrediction theorem1_prediction(std::uint64_t n, std::uint32_t d, double c,
+                                      double eta, double rho) {
+  TheoremPrediction p;
+  const double logn = n > 1 ? std::log(static_cast<double>(n)) : 1.0;
+  const double log2n = n > 1 ? std::log2(static_cast<double>(n)) : 1.0;
+  p.completion_rounds = 3.0 * logn;
+  // Section 3.2: work <= 2 * sum_t alive_t with alive decaying by 4/5 per
+  // round in the heavy stage -- a geometric series bounded by 2*5 = 10
+  // messages per ball, plus O(1) for the tail stage.
+  p.work_per_ball_bound = 10.0;
+  p.max_load_bound = static_cast<std::uint64_t>(
+      std::llround(c * static_cast<double>(d)));
+  p.s_t_bound = 0.5;
+  p.min_degree_required = eta * log2n * log2n;
+  p.admissible_c = admissible_c(eta, rho, d);
+  return p;
+}
+
+double survival_probability(double s, std::uint32_t rounds) {
+  return std::pow(s, static_cast<double>(rounds));
+}
+
+std::string describe(const TheoremPrediction& p) {
+  std::ostringstream os;
+  os << "Theorem 1 prediction: completion <= " << p.completion_rounds
+     << " rounds, max load <= " << p.max_load_bound
+     << ", work/ball = O(1) (analysis constant ~" << p.work_per_ball_bound
+     << "), S_t <= " << p.s_t_bound << " for the whole horizon; requires "
+     << "Delta_min(C) >= " << p.min_degree_required << " and c >= "
+     << p.admissible_c;
+  return os.str();
+}
+
+}  // namespace saer

@@ -1,0 +1,31 @@
+#pragma once
+// Closed-form reference curves printed next to measurements in the figure
+// binaries: what Theorem 1 and the related work predict for each series.
+
+#include <cstdint>
+#include <string>
+
+namespace saer {
+
+struct TheoremPrediction {
+  double completion_rounds = 0;   ///< 3 ln n (the analysis horizon)
+  double work_per_ball_bound = 0; ///< O(1): the constant from Section 3.2
+  std::uint64_t max_load_bound = 0;  ///< c*d by construction
+  double s_t_bound = 0;           ///< 1/2 from Lemma 4
+  double min_degree_required = 0; ///< eta log^2 n
+  double admissible_c = 0;        ///< max(32 rho, 288/(eta d))
+};
+
+/// Predictions for an n-client instance under Theorem 1's constants.
+[[nodiscard]] TheoremPrediction theorem1_prediction(std::uint64_t n,
+                                                    std::uint32_t d, double c,
+                                                    double eta, double rho);
+
+/// Completion probability heuristic for one ball surviving r rounds with
+/// burned fraction always <= s: s^r (the union-bound core of Theorem 1).
+[[nodiscard]] double survival_probability(double s, std::uint32_t rounds);
+
+/// Human-readable block summarizing the prediction (README/examples).
+[[nodiscard]] std::string describe(const TheoremPrediction& p);
+
+}  // namespace saer

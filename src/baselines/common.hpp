@@ -1,0 +1,27 @@
+#pragma once
+// Shared result shape for the baseline allocators referenced by the paper's
+// related-work discussion (Section 1.3).  Baselines differ from SAER/RAES in
+// information model (e.g. sequential greedy reads server loads), so they
+// report `probes` -- the number of client-server interactions -- as their
+// work measure.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+/// Sentinel for "ball not assigned" in baseline allocations.
+inline constexpr NodeId kUnassignedBall = std::numeric_limits<NodeId>::max();
+
+struct AllocationResult {
+  std::uint64_t max_load = 0;
+  std::vector<std::uint32_t> loads;        ///< balls per server
+  std::vector<NodeId> assignment;          ///< server per ball
+  std::uint64_t probes = 0;                ///< client-server interactions
+  std::uint32_t rounds = 1;                ///< parallel rounds (1 if sequential pass)
+};
+
+}  // namespace saer

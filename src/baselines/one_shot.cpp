@@ -1,0 +1,41 @@
+#include "baselines/one_shot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace saer {
+
+AllocationResult one_shot_random(const BipartiteGraph& graph, std::uint32_t d,
+                                 std::uint64_t seed) {
+  if (d == 0) throw std::invalid_argument("one_shot_random: d must be >= 1");
+  Xoshiro256ss rng(seed);
+  AllocationResult res;
+  res.loads.assign(graph.num_servers(), 0);
+  res.assignment.assign(static_cast<std::size_t>(graph.num_clients()) * d,
+                        kUnassignedBall);
+  for (NodeId v = 0; v < graph.num_clients(); ++v) {
+    const std::uint32_t deg = graph.client_degree(v);
+    if (deg == 0)
+      throw std::invalid_argument("one_shot_random: client without servers");
+    for (std::uint32_t i = 0; i < d; ++i) {
+      const NodeId u = graph.client_neighbor(v, rng.bounded(deg));
+      res.assignment[static_cast<std::size_t>(v) * d + i] = u;
+      ++res.loads[u];
+      ++res.probes;
+    }
+  }
+  for (std::uint32_t load : res.loads)
+    res.max_load = std::max<std::uint64_t>(res.max_load, load);
+  return res;
+}
+
+double one_shot_theory_max_load(std::uint64_t n) {
+  if (n < 3) return 1.0;
+  const double ln = std::log(static_cast<double>(n));
+  return ln / std::log(ln);
+}
+
+}  // namespace saer

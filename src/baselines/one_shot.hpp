@@ -1,0 +1,24 @@
+#pragma once
+// One-shot uniform random assignment: every ball goes to a single uniform
+// random neighbor and the server must take it.  On the complete graph this
+// is the classic n-balls-n-bins process with max load
+// Theta(log n / log log n) w.h.p. -- the "no coordination" anchor all the
+// figures compare against.
+
+#include <cstdint>
+
+#include "baselines/common.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+/// Throws one ball times `d` per client to uniform random neighbors.
+[[nodiscard]] AllocationResult one_shot_random(const BipartiteGraph& graph,
+                                               std::uint32_t d,
+                                               std::uint64_t seed);
+
+/// Expected-order max load of n balls in n bins, log n / log log n
+/// (used as the reference curve in figures).
+[[nodiscard]] double one_shot_theory_max_load(std::uint64_t n);
+
+}  // namespace saer

@@ -1,0 +1,93 @@
+#include "baselines/parallel_greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace saer {
+
+AllocationResult parallel_greedy(const BipartiteGraph& graph,
+                                 const ParallelGreedyParams& params) {
+  if (params.d == 0 || params.k == 0 || params.quota == 0)
+    throw std::invalid_argument("parallel_greedy: d, k, quota must be >= 1");
+  for (NodeId v = 0; v < graph.num_clients(); ++v) {
+    if (graph.client_degree(v) == 0)
+      throw std::invalid_argument("parallel_greedy: client without servers");
+  }
+
+  Xoshiro256ss rng(params.seed);
+  const std::uint64_t total_balls =
+      static_cast<std::uint64_t>(graph.num_clients()) * params.d;
+
+  AllocationResult res;
+  res.loads.assign(graph.num_servers(), 0);
+  res.assignment.assign(total_balls, kUnassignedBall);
+  res.rounds = params.rounds;
+
+  std::vector<std::uint64_t> alive(total_balls);
+  std::iota(alive.begin(), alive.end(), std::uint64_t{0});
+
+  // arrivals[u] holds the ball ids that contacted server u this round.
+  std::vector<std::vector<std::uint64_t>> arrivals(graph.num_servers());
+
+  for (std::uint32_t round = 0; round < params.rounds && !alive.empty(); ++round) {
+    for (auto& a : arrivals) a.clear();
+    for (std::uint64_t b : alive) {
+      const auto v = static_cast<NodeId>(b / params.d);
+      const std::uint32_t deg = graph.client_degree(v);
+      for (std::uint32_t probe = 0; probe < params.k; ++probe) {
+        const NodeId u = graph.client_neighbor(v, rng.bounded(deg));
+        arrivals[u].push_back(b);
+        ++res.probes;
+      }
+    }
+    // Servers grant up to `quota` slots uniformly among their arrivals.
+    // A ball granted by several servers keeps the lowest-id server.
+    std::vector<NodeId> granted(total_balls, kUnassignedBall);
+    for (NodeId u = 0; u < graph.num_servers(); ++u) {
+      auto& a = arrivals[u];
+      if (a.empty()) continue;
+      // Partial Fisher-Yates: the first min(quota, |a|) entries are a
+      // uniform sample without replacement.
+      const std::size_t grants = std::min<std::size_t>(params.quota, a.size());
+      for (std::size_t i = 0; i < grants; ++i) {
+        const std::size_t j = i + static_cast<std::size_t>(rng.bounded(a.size() - i));
+        std::swap(a[i], a[j]);
+        const std::uint64_t ball = a[i];
+        if (granted[ball] == kUnassignedBall || u < granted[ball])
+          granted[ball] = u;
+      }
+    }
+    // Commit grants; duplicate grants release automatically because only
+    // the kept server's load is incremented.
+    std::vector<std::uint64_t> next_alive;
+    next_alive.reserve(alive.size());
+    for (std::uint64_t b : alive) {
+      if (granted[b] != kUnassignedBall) {
+        res.assignment[b] = granted[b];
+        ++res.loads[granted[b]];
+      } else {
+        next_alive.push_back(b);
+      }
+    }
+    alive.swap(next_alive);
+  }
+
+  // Fallback: leftover balls go one-shot random.
+  for (std::uint64_t b : alive) {
+    const auto v = static_cast<NodeId>(b / params.d);
+    const NodeId u = graph.client_neighbor(v, rng.bounded(graph.client_degree(v)));
+    res.assignment[b] = u;
+    ++res.loads[u];
+    ++res.probes;
+  }
+
+  for (std::uint32_t load : res.loads)
+    res.max_load = std::max<std::uint64_t>(res.max_load, load);
+  return res;
+}
+
+}  // namespace saer

@@ -1,0 +1,34 @@
+#pragma once
+// Parallel r-round k-choice threshold protocol in the style of Adler,
+// Chakrabarti, Mitzenmacher & Rasmussen (Section 1.3, "Parallel algorithms
+// on the complete bipartite graph"), generalized to restricted
+// neighborhoods.
+//
+// Round structure: every unassigned ball sends its request to k uniform
+// random neighbors; each server accepts at most `quota` of the requests it
+// received this round (uniformly among arrivals) and rejects the rest; a
+// ball accepted by several servers keeps one (lowest server id, which is a
+// valid arbitrary tie-break in the model) and the duplicate slots are
+// released at the end of the round.  After `rounds` rounds, leftover balls
+// fall back to one-shot random placement, mirroring the paper's
+// O((log n / log log n)^{1/r}) residual-load behaviour.
+
+#include <cstdint>
+
+#include "baselines/common.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+struct ParallelGreedyParams {
+  std::uint32_t d = 1;       ///< balls per client
+  std::uint32_t k = 2;       ///< candidate servers contacted per ball per round
+  std::uint32_t rounds = 3;  ///< communication rounds before fallback
+  std::uint32_t quota = 1;   ///< accept slots per server per round
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] AllocationResult parallel_greedy(const BipartiteGraph& graph,
+                                               const ParallelGreedyParams& params);
+
+}  // namespace saer

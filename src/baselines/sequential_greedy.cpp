@@ -1,0 +1,100 @@
+#include "baselines/sequential_greedy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace saer {
+
+namespace {
+
+void require_valid(const BipartiteGraph& graph, std::uint32_t d) {
+  if (d == 0) throw std::invalid_argument("sequential greedy: d must be >= 1");
+  for (NodeId v = 0; v < graph.num_clients(); ++v) {
+    if (graph.client_degree(v) == 0)
+      throw std::invalid_argument("sequential greedy: client without servers");
+  }
+}
+
+void finalize(AllocationResult& res) {
+  for (std::uint32_t load : res.loads)
+    res.max_load = std::max<std::uint64_t>(res.max_load, load);
+}
+
+}  // namespace
+
+AllocationResult sequential_greedy_k(const BipartiteGraph& graph, std::uint32_t d,
+                                     std::uint32_t k, std::uint64_t seed) {
+  require_valid(graph, d);
+  if (k == 0) throw std::invalid_argument("sequential_greedy_k: k must be >= 1");
+  Xoshiro256ss rng(seed);
+  AllocationResult res;
+  res.loads.assign(graph.num_servers(), 0);
+  res.assignment.assign(static_cast<std::size_t>(graph.num_clients()) * d,
+                        kUnassignedBall);
+  for (NodeId v = 0; v < graph.num_clients(); ++v) {
+    const std::uint32_t deg = graph.client_degree(v);
+    for (std::uint32_t i = 0; i < d; ++i) {
+      NodeId best = graph.client_neighbor(v, rng.bounded(deg));
+      ++res.probes;
+      for (std::uint32_t probe = 1; probe < k; ++probe) {
+        const NodeId candidate = graph.client_neighbor(v, rng.bounded(deg));
+        ++res.probes;
+        if (res.loads[candidate] < res.loads[best]) best = candidate;
+      }
+      res.assignment[static_cast<std::size_t>(v) * d + i] = best;
+      ++res.loads[best];
+    }
+  }
+  finalize(res);
+  return res;
+}
+
+AllocationResult sequential_greedy_full_scan(const BipartiteGraph& graph,
+                                             std::uint32_t d,
+                                             std::uint64_t seed) {
+  require_valid(graph, d);
+  Xoshiro256ss rng(seed);
+  AllocationResult res;
+  res.loads.assign(graph.num_servers(), 0);
+  res.assignment.assign(static_cast<std::size_t>(graph.num_clients()) * d,
+                        kUnassignedBall);
+  std::vector<NodeId> argmin;
+  for (NodeId v = 0; v < graph.num_clients(); ++v) {
+    const auto nb = graph.client_neighbors(v);
+    for (std::uint32_t i = 0; i < d; ++i) {
+      std::uint32_t min_load = std::numeric_limits<std::uint32_t>::max();
+      argmin.clear();
+      for (NodeId u : nb) {
+        if (res.loads[u] < min_load) {
+          min_load = res.loads[u];
+          argmin.clear();
+          argmin.push_back(u);
+        } else if (res.loads[u] == min_load) {
+          argmin.push_back(u);
+        }
+      }
+      res.probes += nb.size();
+      const NodeId pick = argmin[rng.bounded(argmin.size())];
+      res.assignment[static_cast<std::size_t>(v) * d + i] = pick;
+      ++res.loads[pick];
+    }
+  }
+  finalize(res);
+  return res;
+}
+
+double best_of_k_theory_max_load(std::uint64_t n, std::uint32_t k) {
+  if (n < 3) return 1.0;
+  if (k < 2) {
+    const double ln = std::log(static_cast<double>(n));
+    return ln / std::log(ln);  // one-shot order
+  }
+  const double lnln = std::log(std::log(static_cast<double>(n)));
+  return lnln / std::log(static_cast<double>(k)) + 1.0;
+}
+
+}  // namespace saer

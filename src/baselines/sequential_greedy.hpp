@@ -1,0 +1,39 @@
+#pragma once
+// Sequential greedy allocators from the related work (Section 1.3):
+//
+//  * best-of-k on an arbitrary bipartite graph (Kenthapadi & Panigrahy for
+//    k = 2): balls are placed one at a time; each ball samples k servers
+//    uniformly at random (with replacement) from its client's neighborhood
+//    and joins the least loaded one;
+//  * Godfrey-style random-cluster greedy: the ball scans its *whole*
+//    neighborhood and joins a uniformly random least-loaded server in it
+//    (maximum information, highest work: Theta(n * Delta_max)).
+//
+// These need servers to disclose their current load -- exactly the
+// privacy-relevant capability SAER avoids -- and serve as quality anchors.
+
+#include <cstdint>
+
+#include "baselines/common.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+/// Sequential best-of-k choices restricted to each client's neighborhood.
+/// k >= 1; k = 1 degenerates to one-shot random. Ties broken toward the
+/// first sampled server (arbitrary, per Azar et al.).
+[[nodiscard]] AllocationResult sequential_greedy_k(const BipartiteGraph& graph,
+                                                   std::uint32_t d,
+                                                   std::uint32_t k,
+                                                   std::uint64_t seed);
+
+/// Godfrey-style: each ball joins a uniform random minimum-load server of
+/// its full neighborhood. Work is the sum of client degrees over balls.
+[[nodiscard]] AllocationResult sequential_greedy_full_scan(
+    const BipartiteGraph& graph, std::uint32_t d, std::uint64_t seed);
+
+/// Azar et al. theory curve for best-of-k on the complete graph:
+/// ln ln n / ln k + Theta(1).
+[[nodiscard]] double best_of_k_theory_max_load(std::uint64_t n, std::uint32_t k);
+
+}  // namespace saer

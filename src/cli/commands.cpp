@@ -1,0 +1,185 @@
+#include "cli/commands.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "core/engine.hpp"
+#include "core/metrics.hpp"
+#include "core/subgraph.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/spectral.hpp"
+#include "util/table.hpp"
+
+namespace saer::cli {
+
+BipartiteGraph build_graph(const CliArgs& args) {
+  const std::string topology = args.get("topology", "regular");
+  const auto n = static_cast<NodeId>(args.get_uint("n", 4096));
+  const std::uint64_t seed = args.get_uint("seed", 1);
+  const auto delta = static_cast<std::uint32_t>(
+      args.get_uint("delta", theorem_degree(n)));
+  if (topology == "regular") return random_regular(n, delta, seed);
+  if (topology == "ring") return ring_proximity(n, delta);
+  if (topology == "grid") {
+    const auto side = static_cast<NodeId>(
+        std::llround(std::sqrt(static_cast<double>(n))));
+    const auto radius = static_cast<std::uint32_t>(args.get_uint("radius", 3));
+    return grid_proximity(side, radius);
+  }
+  if (topology == "trust") {
+    const auto groups =
+        static_cast<std::uint32_t>(args.get_uint("groups", 4));
+    return trust_groups(n, std::min<std::uint32_t>(delta, n / groups), groups,
+                        seed);
+  }
+  if (topology == "almost") {
+    AlmostRegularParams p;
+    p.base_delta = delta;
+    p.heavy_delta = static_cast<std::uint32_t>(
+        args.get_uint("heavy-delta", 2 * delta));
+    p.heavy_fraction = args.get_double("heavy-fraction", 0.05);
+    return almost_regular(n, p, seed);
+  }
+  if (topology == "complete") return complete_bipartite(n, n);
+  throw std::invalid_argument("unknown --topology " + topology);
+}
+
+BipartiteGraph resolve_graph(const CliArgs& args) {
+  const std::string path = args.get("graph", "");
+  if (!path.empty()) return load_graph(path);
+  return build_graph(args);
+}
+
+int cmd_generate(const CliArgs& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out <path> is required\n");
+    return 2;
+  }
+  const BipartiteGraph g = build_graph(args);
+  save_graph(out, g);
+  std::printf("wrote %s\n%s\n", out.c_str(), describe(g).c_str());
+  return 0;
+}
+
+int cmd_stats(const CliArgs& args) {
+  const BipartiteGraph g = resolve_graph(args);
+  const DegreeStats s = degree_stats(g);
+  std::printf("%s\n", describe(g).c_str());
+  const double log2n = std::log2(static_cast<double>(g.num_clients()));
+  std::printf("theorem check: Delta_min(C)=%u vs log2^2(n)=%.1f -> %s; "
+              "rho=%.3f\n",
+              s.client_min, log2n * log2n,
+              satisfies_theorem1(g, 1.0, 4.0) ? "covered (eta=1, rho<=4)"
+                                              : "outside hypothesis",
+              s.rho);
+  return 0;
+}
+
+int cmd_run(const CliArgs& args) {
+  const BipartiteGraph g = resolve_graph(args);
+  ProtocolParams params;
+  const std::string protocol = args.get("protocol", "saer");
+  if (protocol == "saer") {
+    params.protocol = Protocol::kSaer;
+  } else if (protocol == "raes") {
+    params.protocol = Protocol::kRaes;
+  } else {
+    std::fprintf(stderr, "run: --protocol must be saer or raes\n");
+    return 2;
+  }
+  params.d = static_cast<std::uint32_t>(args.get_uint("d", 2));
+  params.c = args.get_double("c", 4.0);
+  params.seed = args.get_uint("seed", 1);
+  const bool trace = args.get_bool("trace", false);
+  params.deep_trace = trace;
+
+  const RunResult res = run_protocol(g, params);
+  check_result(g, params, res);
+  std::printf("%s: %s in %u rounds; work %llu messages (%.2f/ball); "
+              "max load %llu (cap %llu); burned %llu\n",
+              to_string(params.protocol).c_str(),
+              res.completed ? "completed" : "DID NOT COMPLETE", res.rounds,
+              static_cast<unsigned long long>(res.work_messages),
+              res.work_per_ball(),
+              static_cast<unsigned long long>(res.max_load),
+              static_cast<unsigned long long>(params.capacity()),
+              static_cast<unsigned long long>(res.burned_servers));
+  if (trace) {
+    Table t({"round", "alive", "accepted", "burned", "S_t", "K_t"});
+    for (const RoundStats& r : res.trace) {
+      t.add_row({Table::num(std::uint64_t{r.round}), Table::num(r.alive_begin),
+                 Table::num(r.accepted), Table::num(r.burned_total),
+                 Table::num(r.s_max, 4), Table::num(r.k_max, 4)});
+    }
+    std::printf("%s", t.render().c_str());
+  }
+  return res.completed ? 0 : 1;
+}
+
+int cmd_expander(const CliArgs& args) {
+  const BipartiteGraph g = resolve_graph(args);
+  ProtocolParams params;
+  // d >= 3 by default: with d = 1 the extracted subgraph is a forest of
+  // stars and cannot expand; the expander construction needs a constant
+  // d > 1 (Becchetti et al.).
+  params.d = static_cast<std::uint32_t>(args.get_uint("d", 3));
+  params.c = args.get_double("c", 4.0);
+  params.seed = args.get_uint("seed", 1);
+  const RunResult res = run_protocol(g, params);
+  if (!res.completed) {
+    std::fprintf(stderr, "expander: protocol did not complete; raise --c\n");
+    return 1;
+  }
+  const BipartiteGraph sub = assignment_subgraph(g, res);
+  const SubgraphStats stats = subgraph_stats(g, sub);
+  const SpectralEstimate base = estimate_lambda2(g);
+  const SpectralEstimate extracted = estimate_lambda2(sub);
+  std::printf("input:     %s\n", describe(g).c_str());
+  std::printf("extracted: %s\n", describe(sub).c_str());
+  std::printf("degrees: client <= %u (= d), server <= %u (<= c*d = %llu); "
+              "edges kept %.2f%%\n",
+              stats.client_degree_max, stats.server_degree_max,
+              static_cast<unsigned long long>(params.capacity()),
+              100.0 * stats.edge_fraction);
+  std::printf("projection-walk lambda2: input %.4f, extracted %.4f "
+              "(gap %.4f -> %.4f)\n",
+              base.lambda2, extracted.lambda2, base.gap(), extracted.gap());
+  return 0;
+}
+
+std::string usage() {
+  return "usage: saer <generate|stats|run|expander> [flags]\n"
+         "  generate --topology T --n N --out PATH [--delta D] [--seed S]\n"
+         "  stats    --graph PATH | --topology T --n N\n"
+         "  run      [--graph PATH | --topology T --n N] [--protocol saer|raes]\n"
+         "           [--d D] [--c C] [--seed S] [--trace]\n"
+         "  expander [--graph PATH | --topology T --n N] [--d D] [--c C]\n"
+         "topologies: regular ring grid trust almost complete\n";
+}
+
+int dispatch(int argc, const char* const* argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "%s", usage().c_str());
+    return 2;
+  }
+  const std::string command = argv[1];
+  const CliArgs args(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "expander") return cmd_expander(args);
+    std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
+                 usage().c_str());
+    return 2;
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "saer %s: %s\n", command.c_str(), err.what());
+    return 2;
+  }
+}
+
+}  // namespace saer::cli

@@ -1,0 +1,39 @@
+#pragma once
+// Subcommands of the `saer` command-line tool.  Each command is a pure
+// function of parsed flags so the test suite can drive them directly; the
+// thin main() in main.cpp only dispatches.
+//
+//   saer generate --topology regular --n 4096 --out g.txt [--delta D] [--seed S]
+//   saer stats    --graph g.txt
+//   saer run      --graph g.txt [--protocol saer|raes] [--d 2] [--c 4]
+//                 [--seed S] [--trace]
+//   saer expander --graph g.txt [--d 1] [--c 4] [--seed S]
+//
+// `--topology` accepts: regular | ring | grid | trust | almost | complete.
+
+#include <string>
+
+#include "graph/bipartite_graph.hpp"
+#include "util/cli.hpp"
+
+namespace saer::cli {
+
+/// Builds a topology from generate-style flags (shared by commands that
+/// accept either --graph <file> or --topology <name>).
+[[nodiscard]] BipartiteGraph build_graph(const CliArgs& args);
+
+/// Resolves the input graph: --graph file wins, else build_graph.
+[[nodiscard]] BipartiteGraph resolve_graph(const CliArgs& args);
+
+int cmd_generate(const CliArgs& args);
+int cmd_stats(const CliArgs& args);
+int cmd_run(const CliArgs& args);
+int cmd_expander(const CliArgs& args);
+
+/// Dispatches on argv[1]; returns process exit code.
+int dispatch(int argc, const char* const* argv);
+
+/// Usage text.
+[[nodiscard]] std::string usage();
+
+}  // namespace saer::cli

@@ -1,0 +1,6 @@
+// Entry point of the `saer` command-line tool; all logic lives in
+// cli/commands.cpp so tests can drive it.
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) { return saer::cli::dispatch(argc, argv); }

@@ -1,0 +1,179 @@
+#include "core/dynamic.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "util/histogram.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace saer {
+
+namespace {
+/// Separate stream namespace for server-failure coin flips so they never
+/// collide with ball streams (balls use stream = ball id < n*d).
+constexpr std::uint64_t kFailureStreamBase = 0x8000'0000'0000'0000ULL;
+}  // namespace
+
+DynamicResult run_dynamic(const BipartiteGraph& graph,
+                          const DynamicParams& params) {
+  params.base.validate();
+  if (params.server_failure_rate < 0.0 || params.server_failure_rate >= 1.0)
+    throw std::invalid_argument("run_dynamic: failure rate outside [0,1)");
+
+  const NodeId n_clients = graph.num_clients();
+  const NodeId n_servers = graph.num_servers();
+  const std::uint32_t d = params.base.d;
+  const std::uint64_t cap = params.base.capacity();
+  const std::uint64_t total_balls = static_cast<std::uint64_t>(n_clients) * d;
+  const std::uint32_t arrivals =
+      params.arrivals_per_round == 0 ? n_clients : params.arrivals_per_round;
+  const std::uint32_t last_arrival_round =
+      n_clients == 0 ? 1 : 1 + (n_clients - 1) / arrivals;
+  const std::uint32_t drain = params.drain_rounds
+                                  ? params.drain_rounds
+                                  : ProtocolParams::default_max_rounds(n_clients);
+  const std::uint32_t max_rounds = last_arrival_round + drain;
+
+  for (NodeId v = 0; v < n_clients; ++v) {
+    if (graph.client_degree(v) == 0)
+      throw std::invalid_argument("run_dynamic: client has no admissible server");
+  }
+
+  const CounterRng rng(params.base.seed);
+
+  DynamicResult res;
+  res.total_balls = total_balls;
+
+  std::vector<BallId> alive;
+  alive.reserve(total_balls);
+  std::vector<BallId> next_alive;
+  next_alive.reserve(total_balls);
+  std::vector<NodeId> target(total_balls);
+  std::vector<std::uint32_t> activation_round(total_balls);
+  std::vector<std::uint32_t> latency;
+  latency.reserve(total_balls);
+
+  std::vector<std::atomic<std::uint32_t>> round_recv(n_servers);
+  std::vector<std::uint64_t> recv_total(n_servers, 0);
+  std::vector<std::uint32_t> accepted(n_servers, 0);
+  std::vector<std::uint8_t> burned(n_servers, 0);   // protocol state
+  std::vector<std::uint8_t> failed(n_servers, 0);   // churn state
+  std::vector<std::uint8_t> accept_flag(n_servers, 0);
+
+  NodeId next_client = 0;
+  std::uint32_t round = 0;
+  while (round < max_rounds) {
+    ++round;
+
+    // Arrivals: activate the next cohort of clients.
+    const NodeId cohort_end =
+        static_cast<NodeId>(std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(next_client) + arrivals, n_clients));
+    for (; next_client < cohort_end; ++next_client) {
+      for (std::uint32_t i = 0; i < d; ++i) {
+        const BallId b = static_cast<BallId>(next_client) * d + i;
+        alive.push_back(b);
+        activation_round[b] = round;
+      }
+    }
+    if (alive.empty() && next_client == n_clients) break;
+
+    // Server churn: healthy servers fail independently.
+    if (params.server_failure_rate > 0.0) {
+      parallel_for(0, n_servers, [&](std::size_t ui) {
+        if (failed[ui]) return;
+        const double coin = rng.uniform01(kFailureStreamBase + ui, round);
+        if (coin < params.server_failure_rate) failed[ui] = 1;
+      });
+    }
+
+    const std::size_t m = alive.size();
+    parallel_for(0, m, [&](std::size_t i) {
+      const BallId b = alive[i];
+      const auto v = static_cast<NodeId>(b / d);
+      const std::uint32_t deg = graph.client_degree(v);
+      const std::uint64_t k = rng.bounded(b, round, deg);
+      const NodeId u = graph.client_neighbor(v, k);
+      target[i] = u;
+      round_recv[u].fetch_add(1, std::memory_order_relaxed);
+    });
+
+    parallel_for(0, n_servers, [&](std::size_t ui) {
+      const std::uint32_t rr = round_recv[ui].load(std::memory_order_relaxed);
+      std::uint8_t flag = 0;
+      if (rr != 0) {
+        recv_total[ui] += rr;
+        if (failed[ui]) {
+          // Failed servers answer nothing; clients treat it as a reject.
+        } else if (params.base.protocol == Protocol::kSaer) {
+          if (!burned[ui]) {
+            if (recv_total[ui] > cap) {
+              burned[ui] = 1;
+            } else {
+              accepted[ui] += rr;
+              flag = 1;
+            }
+          }
+        } else {
+          if (accepted[ui] + rr <= cap) {
+            accepted[ui] += rr;
+            flag = 1;
+          }
+        }
+      }
+      accept_flag[ui] = flag;
+    });
+
+    next_alive.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+      const BallId b = alive[i];
+      if (accept_flag[target[i]]) {
+        latency.push_back(round - activation_round[b] + 1);
+      } else {
+        next_alive.push_back(b);
+      }
+    }
+    res.work_messages += 2 * static_cast<std::uint64_t>(m);
+    alive.swap(next_alive);
+
+    parallel_for(0, n_servers, [&](std::size_t ui) {
+      round_recv[ui].store(0, std::memory_order_relaxed);
+    });
+
+    std::uint64_t max_load = 0;
+    for (NodeId u = 0; u < n_servers; ++u)
+      max_load = std::max<std::uint64_t>(max_load, accepted[u]);
+    res.max_load_series.push_back(max_load);
+    res.backlog_series.push_back(alive.size());
+
+    if (alive.empty() && next_client == n_clients) break;
+  }
+
+  res.rounds = round;
+  res.unassigned_balls = alive.size();
+  res.completed = alive.empty() && next_client == n_clients;
+  for (NodeId u = 0; u < n_servers; ++u) {
+    res.max_load = std::max<std::uint64_t>(res.max_load, accepted[u]);
+    res.burned_servers += burned[u];
+    res.failed_servers += failed[u];
+  }
+  if (!latency.empty()) {
+    IntHistogram h;
+    double sum = 0;
+    std::uint32_t lmax = 0;
+    for (std::uint32_t l : latency) {
+      h.add(l);
+      sum += l;
+      lmax = std::max(lmax, l);
+    }
+    res.latency_mean = sum / static_cast<double>(latency.size());
+    res.latency_p50 = static_cast<std::uint32_t>(h.quantile(0.50));
+    res.latency_p99 = static_cast<std::uint32_t>(h.quantile(0.99));
+    res.latency_max = lmax;
+  }
+  return res;
+}
+
+}  // namespace saer

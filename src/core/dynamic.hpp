@@ -1,0 +1,55 @@
+#pragma once
+// Dynamic extension (Section 4, future work): clients arrive online and
+// servers may fail permanently (topology churn).  The protocol logic is
+// unchanged -- arrivals simply start submitting in their activation round,
+// and a failed server behaves like a burned one.  The conjecture in the
+// paper is that SAER reaches a metastable regime with good performance; the
+// fig9_dynamic bench measures exactly that (bounded load, stable per-cohort
+// assignment latency).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+struct DynamicParams {
+  ProtocolParams base;
+  /// Clients activated per round, in id order; 0 means all at round 1.
+  std::uint32_t arrivals_per_round = 0;
+  /// Extra rounds to run after the last arrival (drain window);
+  /// 0 selects default_max_rounds(n).
+  std::uint32_t drain_rounds = 0;
+  /// Per-round probability that a healthy server fails permanently.
+  double server_failure_rate = 0.0;
+};
+
+struct DynamicResult {
+  bool completed = false;         ///< all balls of all cohorts assigned
+  std::uint32_t rounds = 0;
+  std::uint64_t total_balls = 0;
+  std::uint64_t unassigned_balls = 0;
+  std::uint64_t max_load = 0;
+  std::uint64_t burned_servers = 0;
+  std::uint64_t failed_servers = 0;
+  std::uint64_t work_messages = 0;
+  /// Assignment latency (rounds from activation to acceptance) percentiles
+  /// over assigned balls.
+  double latency_mean = 0;
+  std::uint32_t latency_p50 = 0;
+  std::uint32_t latency_p99 = 0;
+  std::uint32_t latency_max = 0;
+  /// Max load observed at the end of each round (metastability series).
+  std::vector<std::uint64_t> max_load_series;
+  /// Alive (activated but unassigned) balls per round.
+  std::vector<std::uint64_t> backlog_series;
+};
+
+/// Runs the dynamic process.  Ball b of client v activates in round
+/// 1 + v / arrivals_per_round.  Throws on invalid parameters.
+[[nodiscard]] DynamicResult run_dynamic(const BipartiteGraph& graph,
+                                        const DynamicParams& params);
+
+}  // namespace saer

@@ -1,0 +1,339 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace saer {
+
+namespace {
+
+void fetch_max_u64(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Deep-trace scan: computes the paper's neighborhood maxima
+/// (Definitions 3, 5, 6) from the per-server round counts and cumulative
+/// received counts. O(E); only runs when deep_trace is requested.
+struct DeepMetrics {
+  double s_max = 0;
+  double k_max = 0;
+  std::uint64_t r_max_neighborhood = 0;
+};
+
+DeepMetrics deep_scan(const BipartiteGraph& g,
+                      const std::vector<std::atomic<std::uint32_t>>& round_recv,
+                      const std::vector<std::uint64_t>& recv_total,
+                      const std::vector<std::uint8_t>& burned,
+                      std::uint64_t capacity, std::uint32_t d) {
+  DeepMetrics m;
+  std::atomic<std::uint64_t> r_max{0};
+  // Doubles need a CAS-max as well; represent fractions as rationals first:
+  // max of burned_count/deg and recv_cum/(c d deg) compare across different
+  // degrees, so we fall back to a mutex-free reduction via thread-local
+  // maxima folded by parallel_reduce_max.
+  const double cd = static_cast<double>(capacity);
+  (void)d;
+  m.s_max = parallel_reduce_max(0, g.num_clients(), [&](std::size_t vi) {
+    const auto v = static_cast<NodeId>(vi);
+    const auto nb = g.client_neighbors(v);
+    std::uint64_t burned_count = 0;
+    for (NodeId u : nb) burned_count += burned[u];
+    return nb.empty() ? 0.0
+                      : static_cast<double>(burned_count) /
+                            static_cast<double>(nb.size());
+  });
+  m.k_max = parallel_reduce_max(0, g.num_clients(), [&](std::size_t vi) {
+    const auto v = static_cast<NodeId>(vi);
+    const auto nb = g.client_neighbors(v);
+    std::uint64_t recv = 0, rnd = 0;
+    for (NodeId u : nb) {
+      recv += recv_total[u];
+      rnd += round_recv[u].load(std::memory_order_relaxed);
+    }
+    fetch_max_u64(r_max, rnd);
+    return nb.empty() ? 0.0
+                      : static_cast<double>(recv) /
+                            (cd * static_cast<double>(nb.size()));
+  });
+  m.r_max_neighborhood = r_max.load(std::memory_order_relaxed);
+  return m;
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared round loop: `ball_client[b]` maps ball ids to owning clients;
+/// works for both the uniform-d and heterogeneous-demand entry points.
+RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
+                     const std::vector<NodeId>& ball_client) {
+  const NodeId n_servers = graph.num_servers();
+  const std::uint32_t d = params.d;
+  const std::uint64_t cap = params.capacity();
+  const std::uint64_t total_balls = ball_client.size();
+  const std::uint32_t max_rounds =
+      params.max_rounds ? params.max_rounds
+                        : ProtocolParams::default_max_rounds(graph.num_clients());
+
+  RunResult res;
+  res.total_balls = total_balls;
+  res.assignment.assign(total_balls, kUnassigned);
+
+  const CounterRng rng(params.seed);
+
+  std::vector<BallId> alive(total_balls);
+  std::iota(alive.begin(), alive.end(), BallId{0});
+  std::vector<BallId> next_alive;
+  next_alive.reserve(total_balls);
+  std::vector<NodeId> target(total_balls);
+
+  std::vector<std::atomic<std::uint32_t>> round_recv(n_servers);
+  std::vector<std::uint64_t> recv_total(n_servers, 0);
+  std::vector<std::uint32_t> accepted(n_servers, 0);
+  std::vector<std::uint8_t> burned(n_servers, 0);
+  std::vector<std::uint8_t> accept_flag(n_servers, 0);
+
+  std::uint32_t round = 0;
+  while (!alive.empty() && round < max_rounds) {
+    ++round;
+    const std::size_t m = alive.size();
+
+    // Phase 1: every alive ball contacts a uniform random neighbor of its
+    // client (independent, with replacement -- Algorithm 1, lines 2-5).
+    parallel_for(0, m, [&](std::size_t i) {
+      const BallId b = alive[i];
+      const NodeId v = ball_client[b];
+      const std::uint32_t deg = graph.client_degree(v);
+      const std::uint64_t k = rng.bounded(b, round, deg);
+      const NodeId u = graph.client_neighbor(v, k);
+      target[i] = u;
+      round_recv[u].fetch_add(1, std::memory_order_relaxed);
+    });
+
+    // Phase 2: servers accept or reject the whole round
+    // (Algorithm 1, lines 6-17).
+    std::atomic<std::uint64_t> newly_burned{0};
+    std::atomic<std::uint64_t> saturated{0};
+    std::atomic<std::uint64_t> accepted_round{0};
+    std::atomic<std::uint64_t> r_max_server{0};
+    parallel_for(0, n_servers, [&](std::size_t ui) {
+      const std::uint32_t rr = round_recv[ui].load(std::memory_order_relaxed);
+      std::uint8_t flag = 0;
+      if (rr != 0) {
+        recv_total[ui] += rr;  // counts toward Definition 3 regardless of verdict
+        fetch_max_u64(r_max_server, rr);
+        if (params.protocol == Protocol::kSaer) {
+          if (burned[ui]) {
+            saturated.fetch_add(1, std::memory_order_relaxed);
+          } else if (recv_total[ui] > cap) {
+            burned[ui] = 1;
+            newly_burned.fetch_add(1, std::memory_order_relaxed);
+            saturated.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            accepted[ui] += rr;
+            accepted_round.fetch_add(rr, std::memory_order_relaxed);
+            flag = 1;
+          }
+        } else {  // RAES: reject only if accepting would exceed capacity
+          if (accepted[ui] + rr > cap) {
+            saturated.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            accepted[ui] += rr;
+            accepted_round.fetch_add(rr, std::memory_order_relaxed);
+            flag = 1;
+          }
+        }
+      }
+      accept_flag[ui] = flag;
+    });
+
+    RoundStats stats;
+    stats.round = round;
+    stats.alive_begin = m;
+    stats.submitted = m;
+    stats.accepted = accepted_round.load();
+    stats.newly_burned = newly_burned.load();
+    stats.saturated = saturated.load();
+    stats.r_max_server = r_max_server.load();
+    res.work_messages += 2 * static_cast<std::uint64_t>(m);
+
+    if (params.deep_trace) {
+      const DeepMetrics dm =
+          deep_scan(graph, round_recv, recv_total, burned, cap, d);
+      stats.s_max = dm.s_max;
+      stats.k_max = dm.k_max;
+      stats.r_max_neighborhood = dm.r_max_neighborhood;
+    }
+
+    // Phase 2 epilogue: clients read the Boolean verdicts
+    // (Algorithm 1, lines 18-23).
+    next_alive.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+      const BallId b = alive[i];
+      const NodeId u = target[i];
+      if (accept_flag[u]) {
+        res.assignment[b] = u;
+      } else {
+        next_alive.push_back(b);
+      }
+    }
+    alive.swap(next_alive);
+
+    parallel_for(0, n_servers, [&](std::size_t ui) {
+      round_recv[ui].store(0, std::memory_order_relaxed);
+    });
+
+    stats.burned_total = static_cast<std::uint64_t>(
+        std::count(burned.begin(), burned.end(), std::uint8_t{1}));
+    if (params.record_trace) res.trace.push_back(stats);
+  }
+
+  res.completed = alive.empty();
+  res.rounds = round;
+  res.alive_balls = alive.size();
+  res.loads.assign(accepted.begin(), accepted.end());
+  for (std::uint32_t load : res.loads)
+    res.max_load = std::max<std::uint64_t>(res.max_load, load);
+  res.burned_servers = static_cast<std::uint64_t>(
+      std::count(burned.begin(), burned.end(), std::uint8_t{1}));
+  return res;
+}
+
+/// Shared audit over an explicit ball -> client map.
+void check_result_balls(const BipartiteGraph& graph,
+                        const ProtocolParams& params,
+                        const std::vector<NodeId>& ball_client,
+                        const RunResult& result) {
+  const std::uint64_t cap = params.capacity();
+  const std::uint64_t total_balls = ball_client.size();
+  if (result.total_balls != total_balls)
+    throw std::logic_error("check_result: total_balls mismatch");
+  if (result.assignment.size() != total_balls)
+    throw std::logic_error("check_result: assignment size mismatch");
+  if (result.loads.size() != graph.num_servers())
+    throw std::logic_error("check_result: loads size mismatch");
+
+  std::vector<std::uint32_t> recomputed(graph.num_servers(), 0);
+  std::uint64_t unassigned = 0;
+  for (BallId b = 0; b < total_balls; ++b) {
+    const NodeId u = result.assignment[b];
+    if (u == kUnassigned) {
+      ++unassigned;
+      continue;
+    }
+    const NodeId v = ball_client[b];
+    if (!graph.has_edge(v, u))
+      throw std::logic_error("check_result: ball assigned outside N(v)");
+    ++recomputed[u];
+  }
+  if (unassigned != result.alive_balls)
+    throw std::logic_error("check_result: alive_balls mismatch");
+  if (result.completed && unassigned != 0)
+    throw std::logic_error("check_result: completed run left balls alive");
+
+  std::uint64_t max_load = 0;
+  for (NodeId u = 0; u < graph.num_servers(); ++u) {
+    if (recomputed[u] != result.loads[u])
+      throw std::logic_error("check_result: loads disagree with assignment");
+    if (recomputed[u] > cap)
+      throw std::logic_error("check_result: load exceeds capacity c*d");
+    max_load = std::max<std::uint64_t>(max_load, recomputed[u]);
+  }
+  if (max_load != result.max_load)
+    throw std::logic_error("check_result: max_load mismatch");
+
+  if (!result.trace.empty()) {
+    std::uint64_t work = 0, accepted = 0;
+    for (const RoundStats& r : result.trace) {
+      work += 2 * r.submitted;
+      accepted += r.accepted;
+    }
+    if (work != result.work_messages)
+      throw std::logic_error("check_result: work accounting mismatch");
+    if (accepted != total_balls - unassigned)
+      throw std::logic_error("check_result: accepted-ball accounting mismatch");
+    if (result.trace.size() != result.rounds)
+      throw std::logic_error("check_result: trace length mismatch");
+  }
+}
+
+/// Ball -> client map for uniform demand d per client.
+std::vector<NodeId> uniform_ball_clients(NodeId n_clients, std::uint32_t d) {
+  std::vector<NodeId> ball_client(static_cast<std::size_t>(n_clients) * d);
+  for (NodeId v = 0; v < n_clients; ++v) {
+    for (std::uint32_t i = 0; i < d; ++i)
+      ball_client[static_cast<std::size_t>(v) * d + i] = v;
+  }
+  return ball_client;
+}
+
+/// Ball -> client map for heterogeneous demands; validates demands <= d.
+std::vector<NodeId> demand_ball_clients(const BipartiteGraph& graph,
+                                        const ProtocolParams& params,
+                                        const std::vector<std::uint32_t>& demands) {
+  if (demands.size() != graph.num_clients())
+    throw std::invalid_argument("run_protocol_demands: demands size mismatch");
+  std::vector<NodeId> ball_client;
+  for (NodeId v = 0; v < graph.num_clients(); ++v) {
+    if (demands[v] > params.d)
+      throw std::invalid_argument(
+          "run_protocol_demands: demand exceeds request number d");
+    for (std::uint32_t i = 0; i < demands[v]; ++i) ball_client.push_back(v);
+  }
+  return ball_client;
+}
+
+void require_reachable(const BipartiteGraph& graph,
+                       const std::vector<NodeId>& ball_client) {
+  for (const NodeId v : ball_client) {
+    if (graph.client_degree(v) == 0)
+      throw std::invalid_argument("run_protocol: client " + std::to_string(v) +
+                                  " has no admissible server");
+  }
+}
+
+}  // namespace
+
+RunResult run_protocol(const BipartiteGraph& graph, const ProtocolParams& params) {
+  params.validate();
+  const std::vector<NodeId> ball_client =
+      uniform_ball_clients(graph.num_clients(), params.d);
+  require_reachable(graph, ball_client);
+  return run_rounds(graph, params, ball_client);
+}
+
+RunResult run_protocol_demands(const BipartiteGraph& graph,
+                               const ProtocolParams& params,
+                               const std::vector<std::uint32_t>& demands) {
+  params.validate();
+  const std::vector<NodeId> ball_client =
+      demand_ball_clients(graph, params, demands);
+  require_reachable(graph, ball_client);
+  return run_rounds(graph, params, ball_client);
+}
+
+void check_result(const BipartiteGraph& graph, const ProtocolParams& params,
+                  const RunResult& result) {
+  check_result_balls(graph, params,
+                     uniform_ball_clients(graph.num_clients(), params.d),
+                     result);
+}
+
+void check_result_demands(const BipartiteGraph& graph,
+                          const ProtocolParams& params,
+                          const std::vector<std::uint32_t>& demands,
+                          const RunResult& result) {
+  check_result_balls(graph, params, demand_ball_clients(graph, params, demands),
+                     result);
+}
+
+}  // namespace saer

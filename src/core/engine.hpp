@@ -1,0 +1,54 @@
+#pragma once
+// Round-synchronous vectorized engine for SAER and RAES.
+//
+// The engine simulates the model of Section 2.1 (one Phase-1 submission
+// plus one Boolean Phase-2 reply per alive ball per round) but executes it
+// as three data-parallel passes per round:
+//
+//   pass 1 (balls):   every alive ball samples a uniform neighbor of its
+//                     client and increments that server's round counter;
+//   pass 2 (servers): every server applies the SAER or RAES acceptance rule
+//                     to its round count and publishes accept/reject;
+//   pass 3 (balls):   every alive ball reads its target's verdict; accepted
+//                     balls record their server, rejected ones stay alive.
+//
+// Randomness is counter-based on (seed, ball, round), so the outcome is a
+// pure function of (graph, params) -- independent of thread count and
+// schedule.  This both makes runs reproducible and is faithful to the model:
+// clients draw independently either way.
+
+#include "core/protocol.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+/// Runs the protocol to completion (or the round cap).  Throws
+/// std::invalid_argument on bad params or a client with empty neighborhood.
+[[nodiscard]] RunResult run_protocol(const BipartiteGraph& graph,
+                                     const ProtocolParams& params);
+
+/// General request-number case (Section 2.2: "the analysis of the general
+/// case (<= d) is in fact similar"): client v starts with demands[v] balls,
+/// each demands[v] <= params.d.  Server capacity stays round(c*d).  Ball ids
+/// are assigned contiguously per client in id order; RunResult::total_balls
+/// is the sum of demands.  Throws if any demand exceeds d or a client with
+/// positive demand has no neighbors.
+[[nodiscard]] RunResult run_protocol_demands(
+    const BipartiteGraph& graph, const ProtocolParams& params,
+    const std::vector<std::uint32_t>& demands);
+
+/// Audit for heterogeneous-demand runs (same checks as check_result but with
+/// the per-client ball offsets implied by `demands`).
+void check_result_demands(const BipartiteGraph& graph,
+                          const ProtocolParams& params,
+                          const std::vector<std::uint32_t>& demands,
+                          const RunResult& result);
+
+/// Consistency audit of a finished run: every assigned ball went to a
+/// neighbor of its client, loads match the assignment, no load exceeds
+/// capacity, work accounting matches the trace.  Throws std::logic_error
+/// with a description on the first violation.  Used by tests and examples.
+void check_result(const BipartiteGraph& graph, const ProtocolParams& params,
+                  const RunResult& result);
+
+}  // namespace saer

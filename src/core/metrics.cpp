@@ -1,0 +1,48 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace saer {
+
+IntHistogram load_histogram(const std::vector<std::uint32_t>& loads) {
+  IntHistogram h;
+  for (std::uint32_t load : loads) h.add(static_cast<std::int64_t>(load));
+  return h;
+}
+
+LoadSummary summarize_loads(const std::vector<std::uint32_t>& loads,
+                            std::uint64_t capacity) {
+  LoadSummary s;
+  if (loads.empty()) return s;
+  const IntHistogram h = load_histogram(loads);
+  s.max = static_cast<std::uint64_t>(std::max<std::int64_t>(h.max(), 0));
+  s.mean = h.mean();
+  s.p50 = h.quantile(0.50);
+  s.p99 = h.quantile(0.99);
+  std::uint64_t at_cap = 0, empty = 0;
+  for (std::uint32_t load : loads) {
+    if (load == capacity) ++at_cap;
+    if (load == 0) ++empty;
+  }
+  s.at_capacity_fraction =
+      static_cast<double>(at_cap) / static_cast<double>(loads.size());
+  s.empty_fraction =
+      static_cast<double>(empty) / static_cast<double>(loads.size());
+  return s;
+}
+
+double alive_decay_rate(const std::vector<RoundStats>& trace,
+                        std::uint64_t min_alive) {
+  double sum = 0;
+  std::size_t count = 0;
+  for (const RoundStats& r : trace) {
+    if (r.alive_begin < std::max<std::uint64_t>(min_alive, 1)) continue;
+    const double after =
+        static_cast<double>(r.alive_begin - r.accepted);
+    sum += after / static_cast<double>(r.alive_begin);
+    ++count;
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace saer

@@ -1,0 +1,34 @@
+#pragma once
+// Post-run load metrics shared by figures, examples and tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "util/histogram.hpp"
+
+namespace saer {
+
+/// Exact histogram of server loads (accepted balls per server).
+[[nodiscard]] IntHistogram load_histogram(const std::vector<std::uint32_t>& loads);
+
+struct LoadSummary {
+  std::uint64_t max = 0;
+  double mean = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p99 = 0;
+  /// Fraction of servers whose load equals the capacity bound.
+  double at_capacity_fraction = 0;
+  /// Fraction of servers with zero load.
+  double empty_fraction = 0;
+};
+[[nodiscard]] LoadSummary summarize_loads(const std::vector<std::uint32_t>& loads,
+                                          std::uint64_t capacity);
+
+/// Geometric decay-rate estimate of the alive-ball series: mean of
+/// alive_{t+1}/alive_t over rounds where alive_t >= min_alive.
+/// Section 3.2 predicts this stays <= ~4/5 while alive >= nd/log n.
+[[nodiscard]] double alive_decay_rate(const std::vector<RoundStats>& trace,
+                                      std::uint64_t min_alive);
+
+}  // namespace saer

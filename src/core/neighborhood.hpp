@@ -1,0 +1,33 @@
+#pragma once
+// Full per-client distribution of the analysis observables.  The engine's
+// deep trace records only the maxima S_t = max_v S_t(v) and
+// K_t = max_v K_t(v); Lemma 4 is a statement about the max, but the
+// *distribution* across clients shows how much slack the union bound has.
+// This profiler re-runs the protocol with an O(E)-per-round scan that
+// collects mean / p90 / max of S_t(v) and K_t(v) per round.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+struct NeighborhoodSnapshot {
+  std::uint32_t round = 0;
+  std::uint64_t alive = 0;   ///< alive balls after the round
+  double s_mean = 0;         ///< mean over clients of S_t(v)
+  double s_p90 = 0;
+  double s_max = 0;          ///< = the deep trace's S_t
+  double k_mean = 0;
+  double k_p90 = 0;
+  double k_max = 0;          ///< = the deep trace's K_t
+};
+
+/// Runs the protocol and returns one snapshot per executed round.
+/// Deterministically identical in outcome to run_protocol (same randomness).
+[[nodiscard]] std::vector<NeighborhoodSnapshot> neighborhood_profile(
+    const BipartiteGraph& graph, const ProtocolParams& params);
+
+}  // namespace saer

@@ -1,0 +1,85 @@
+#pragma once
+// Protocol parameters and results for the SAER / RAES round engines.
+//
+// Terminology follows the paper (Section 2):
+//  * every client holds d balls; a ball is "alive" until some server accepts
+//    it; in each round every alive ball is re-submitted to a server chosen
+//    independently and uniformly at random (with replacement) from the
+//    client's neighborhood;
+//  * a server's capacity is c*d; SAER burns (permanently stops accepting)
+//    a server whose cumulative received count exceeds capacity; RAES only
+//    rejects a round that would push its accepted count above capacity.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+enum class Protocol : std::uint8_t {
+  kSaer,  ///< Stop Accepting if Exceeding Requests (this paper)
+  kRaes,  ///< Request a link, then Accept if Enough Space (Becchetti et al.)
+};
+
+[[nodiscard]] std::string to_string(Protocol p);
+
+/// Ball id type; ball b belongs to client b / d.
+using BallId = std::uint64_t;
+
+/// Sentinel for "ball not assigned to any server yet".
+inline constexpr NodeId kUnassigned = std::numeric_limits<NodeId>::max();
+
+struct ProtocolParams {
+  Protocol protocol = Protocol::kSaer;
+  /// Request number d >= 1: balls per client (the paper treats d = Theta(1)).
+  std::uint32_t d = 1;
+  /// Capacity multiplier c > 0; server capacity is round(c * d).
+  double c = 32.0;
+  /// Seed for the counter-based randomness (schedule-independent).
+  std::uint64_t seed = 1;
+  /// Hard round cap; 0 selects the default 50 + 30*ceil(log2 n) safety
+  /// margin (an order of magnitude above the theorem's 3*log n).
+  std::uint32_t max_rounds = 0;
+  /// Collect the O(E)-per-round neighborhood metrics S_t, K_t, r_t(N(v)).
+  bool deep_trace = false;
+  /// Record per-round RoundStats (cheap metrics) in the result.
+  bool record_trace = true;
+
+  /// Server capacity in balls: round(c*d), at least 1.
+  [[nodiscard]] std::uint64_t capacity() const;
+  /// Default round cap for an n-client instance.
+  [[nodiscard]] static std::uint32_t default_max_rounds(NodeId n);
+  /// Validates parameter ranges; throws std::invalid_argument.
+  void validate() const;
+};
+
+struct RunResult {
+  bool completed = false;        ///< all balls assigned within the round cap
+  std::uint32_t rounds = 0;      ///< rounds executed (completion time if completed)
+  std::uint64_t total_balls = 0; ///< n * d
+  std::uint64_t alive_balls = 0; ///< balls still unassigned at the end
+  /// Work in the paper's sense: every submitted request plus its Boolean
+  /// reply counts one message each, so work = 2 * total submissions.
+  std::uint64_t work_messages = 0;
+  std::uint64_t max_load = 0;        ///< max accepted balls on any server
+  std::uint64_t burned_servers = 0;  ///< SAER only; 0 for RAES
+  /// assignment[b] = accepting server for ball b, or kUnassigned.
+  std::vector<NodeId> assignment;
+  /// accepted balls per server (the "load" vector).
+  std::vector<std::uint32_t> loads;
+  /// Per-round statistics (present when record_trace).
+  std::vector<RoundStats> trace;
+
+  /// Work normalized per ball: messages / (n*d).
+  [[nodiscard]] double work_per_ball() const {
+    return total_balls ? static_cast<double>(work_messages) /
+                             static_cast<double>(total_balls)
+                       : 0.0;
+  }
+};
+
+}  // namespace saer

@@ -1,0 +1,118 @@
+#include "core/reference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace saer {
+
+RunResult run_protocol_reference(const BipartiteGraph& graph,
+                                 const ProtocolParams& params) {
+  params.validate();
+  const NodeId n = graph.num_clients();
+  const std::uint32_t d = params.d;
+  const std::uint64_t cap = params.capacity();
+  const std::uint64_t total_balls = static_cast<std::uint64_t>(n) * d;
+  const std::uint32_t max_rounds =
+      params.max_rounds ? params.max_rounds
+                        : ProtocolParams::default_max_rounds(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (graph.client_degree(v) == 0)
+      throw std::invalid_argument("reference: client without servers");
+  }
+
+  const CounterRng rng(params.seed);
+
+  RunResult res;
+  res.total_balls = total_balls;
+  res.assignment.assign(total_balls, kUnassigned);
+
+  // Per-ball alive flags (doutv of Algorithm 1 is d minus settled balls).
+  std::vector<bool> alive(total_balls, true);
+  std::vector<std::uint64_t> received_since_start(graph.num_servers(), 0);
+  std::vector<std::uint32_t> din(graph.num_servers(), 0);  // accepted
+  std::vector<bool> burned(graph.num_servers(), false);
+
+  std::uint64_t alive_count = total_balls;
+  std::uint32_t round = 0;
+  while (alive_count > 0 && round < max_rounds) {
+    ++round;
+    const std::uint64_t submitted = alive_count;
+
+    // Phase 1 (lines 2-5): every client submits each still-alive ball to a
+    // uniformly random neighbor, independently, with replacement.
+    std::vector<std::uint32_t> arrivals(graph.num_servers(), 0);
+    std::vector<NodeId> destination(total_balls, kUnassigned);
+    for (BallId b = 0; b < total_balls; ++b) {
+      if (!alive[b]) continue;
+      const auto v = static_cast<NodeId>(b / d);
+      const NodeId u =
+          graph.client_neighbor(v, rng.bounded(b, round, graph.client_degree(v)));
+      destination[b] = u;
+      ++arrivals[u];
+    }
+
+    // Phase 2 (lines 6-17): each server issues one verdict for the round.
+    std::vector<bool> accepts(graph.num_servers(), false);
+    std::uint64_t accepted_round = 0;
+    std::uint64_t newly_burned = 0;
+    for (NodeId u = 0; u < graph.num_servers(); ++u) {
+      if (arrivals[u] == 0) continue;
+      received_since_start[u] += arrivals[u];
+      if (params.protocol == Protocol::kSaer) {
+        if (burned[u]) continue;  // line 9: reject everything
+        if (received_since_start[u] > cap) {
+          burned[u] = true;  // lines 11-12
+          ++newly_burned;
+        } else {
+          din[u] += arrivals[u];  // line 14
+          accepts[u] = true;
+          accepted_round += arrivals[u];
+        }
+      } else {  // RAES: accept unless it would overflow din
+        if (din[u] + arrivals[u] <= cap) {
+          din[u] += arrivals[u];
+          accepts[u] = true;
+          accepted_round += arrivals[u];
+        }
+      }
+    }
+
+    // Lines 18-23: clients update doutv.
+    for (BallId b = 0; b < total_balls; ++b) {
+      if (!alive[b]) continue;
+      const NodeId u = destination[b];
+      if (accepts[u]) {
+        alive[b] = false;
+        res.assignment[b] = u;
+        --alive_count;
+      }
+    }
+
+    res.work_messages += 2 * submitted;
+    if (params.record_trace) {
+      RoundStats rs;
+      rs.round = round;
+      rs.alive_begin = submitted;
+      rs.submitted = submitted;
+      rs.accepted = accepted_round;
+      rs.newly_burned = newly_burned;
+      rs.burned_total = static_cast<std::uint64_t>(
+          std::count(burned.begin(), burned.end(), true));
+      res.trace.push_back(rs);
+    }
+  }
+
+  res.completed = alive_count == 0;
+  res.rounds = round;
+  res.alive_balls = alive_count;
+  res.loads = din;
+  for (const std::uint32_t load : din)
+    res.max_load = std::max<std::uint64_t>(res.max_load, load);
+  res.burned_servers = static_cast<std::uint64_t>(
+      std::count(burned.begin(), burned.end(), true));
+  return res;
+}
+
+}  // namespace saer

@@ -1,0 +1,17 @@
+#pragma once
+// Deliberately naive reference implementation of Algorithm 1 -- a direct,
+// line-by-line transcription of the paper's pseudocode with no batching, no
+// parallelism, and no clever data structures.  It consumes the same
+// counter-based randomness as the optimized engine, so the two must agree
+// bit-for-bit on every instance; the test suite uses it as an oracle.
+
+#include "core/protocol.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+/// Runs Algorithm 1 naively.  Same contract as run_protocol().
+[[nodiscard]] RunResult run_protocol_reference(const BipartiteGraph& graph,
+                                               const ProtocolParams& params);
+
+}  // namespace saer

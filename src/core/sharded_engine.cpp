@@ -1,0 +1,196 @@
+#include "core/sharded_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace saer {
+
+std::uint32_t server_shard(NodeId u, NodeId num_servers,
+                           std::uint32_t num_shards) {
+  // Contiguous block partition with the remainder spread over the first
+  // shards (the standard block decomposition).
+  const std::uint64_t scaled =
+      static_cast<std::uint64_t>(u) * num_shards / std::max<NodeId>(num_servers, 1);
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(scaled, num_shards - 1));
+}
+
+RunResult run_protocol_sharded(const BipartiteGraph& graph,
+                               const ShardedParams& params,
+                               ShardedStats* stats) {
+  params.base.validate();
+  if (params.num_shards == 0)
+    throw std::invalid_argument("run_protocol_sharded: num_shards must be >= 1");
+  const NodeId n_clients = graph.num_clients();
+  const NodeId n_servers = graph.num_servers();
+  const std::uint32_t d = params.base.d;
+  const std::uint64_t cap = params.base.capacity();
+  const std::uint64_t total_balls = static_cast<std::uint64_t>(n_clients) * d;
+  const std::uint32_t shards = params.num_shards;
+  const std::uint32_t max_rounds =
+      params.base.max_rounds ? params.base.max_rounds
+                             : ProtocolParams::default_max_rounds(n_clients);
+
+  for (NodeId v = 0; v < n_clients; ++v) {
+    if (graph.client_degree(v) == 0)
+      throw std::invalid_argument("run_protocol_sharded: client without servers");
+  }
+
+  const CounterRng rng(params.base.seed);
+
+  RunResult res;
+  res.total_balls = total_balls;
+  res.assignment.assign(total_balls, kUnassigned);
+
+  // Per-client-shard alive lists; ball b belongs to client b / d.
+  auto client_shard = [&](NodeId v) {
+    const std::uint64_t scaled = static_cast<std::uint64_t>(v) * shards /
+                                 std::max<NodeId>(n_clients, 1);
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(scaled, shards - 1));
+  };
+  std::vector<std::vector<BallId>> alive(shards);
+  for (BallId b = 0; b < total_balls; ++b)
+    alive[client_shard(static_cast<NodeId>(b / d))].push_back(b);
+
+  struct Request {
+    BallId ball;
+    NodeId server;
+  };
+  // outbox[from][to]: requests from client shard `from` to server shard `to`.
+  std::vector<std::vector<std::vector<Request>>> outbox(
+      shards, std::vector<std::vector<Request>>(shards));
+
+  std::vector<std::uint64_t> recv_total(n_servers, 0);
+  std::vector<std::uint32_t> recv_round(n_servers, 0);
+  std::vector<std::uint32_t> accepted(n_servers, 0);
+  std::vector<std::uint8_t> burned(n_servers, 0);
+  std::vector<std::uint8_t> accept_flag(n_servers, 0);
+
+  if (stats) *stats = ShardedStats{};
+
+  std::uint64_t alive_count = total_balls;
+  std::uint32_t round = 0;
+  while (alive_count > 0 && round < max_rounds) {
+    ++round;
+    const std::uint64_t m = alive_count;
+
+    // Phase 1 (client shards): sample targets and route into shard outboxes.
+    for (std::uint32_t from = 0; from < shards; ++from) {
+      for (auto& box : outbox[from]) box.clear();
+      for (const BallId b : alive[from]) {
+        const auto v = static_cast<NodeId>(b / d);
+        const std::uint32_t deg = graph.client_degree(v);
+        const NodeId u = graph.client_neighbor(v, rng.bounded(b, round, deg));
+        const std::uint32_t to = server_shard(u, n_servers, shards);
+        outbox[from][to].push_back({b, u});
+        if (stats) {
+          if (to == from) {
+            ++stats->local_messages;
+          } else {
+            ++stats->cross_shard_messages;
+          }
+        }
+      }
+    }
+
+    // Exchange + Phase 2 (server shards): each shard drains its inboxes.
+    std::vector<std::uint64_t> shard_inbox_total(shards, 0);
+    for (std::uint32_t to = 0; to < shards; ++to) {
+      for (std::uint32_t from = 0; from < shards; ++from) {
+        for (const Request& req : outbox[from][to]) {
+          ++recv_round[req.server];
+          ++shard_inbox_total[to];
+        }
+      }
+    }
+    std::uint64_t accepted_round = 0;
+    std::uint64_t newly_burned = 0;
+    for (NodeId u = 0; u < n_servers; ++u) {
+      const std::uint32_t rr = recv_round[u];
+      std::uint8_t flag = 0;
+      if (rr != 0) {
+        recv_total[u] += rr;
+        if (params.base.protocol == Protocol::kSaer) {
+          if (!burned[u]) {
+            if (recv_total[u] > cap) {
+              burned[u] = 1;
+              ++newly_burned;
+            } else {
+              accepted[u] += rr;
+              accepted_round += rr;
+              flag = 1;
+            }
+          }
+        } else {
+          if (accepted[u] + rr <= cap) {
+            accepted[u] += rr;
+            accepted_round += rr;
+            flag = 1;
+          }
+        }
+      }
+      accept_flag[u] = flag;
+      recv_round[u] = 0;
+    }
+    if (stats) {
+      const double mean =
+          static_cast<double>(m) / static_cast<double>(shards);
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        if (mean > 0) {
+          stats->max_shard_imbalance =
+              std::max(stats->max_shard_imbalance,
+                       static_cast<double>(shard_inbox_total[s]) / mean);
+        }
+      }
+    }
+
+    // Reply delivery (server shard -> client shard) and alive-list update.
+    alive_count = 0;
+    for (std::uint32_t from = 0; from < shards; ++from) {
+      std::vector<BallId> next;
+      next.reserve(alive[from].size());
+      // Replies arrive per (from, to) box in sending order -- the verdict
+      // depends only on the server, so processing order is irrelevant.
+      for (std::uint32_t to = 0; to < shards; ++to) {
+        for (const Request& req : outbox[from][to]) {
+          if (accept_flag[req.server]) {
+            res.assignment[req.ball] = req.server;
+          } else {
+            next.push_back(req.ball);
+          }
+        }
+      }
+      std::sort(next.begin(), next.end());  // canonical order within shard
+      alive[from].swap(next);
+      alive_count += alive[from].size();
+    }
+
+    res.work_messages += 2 * m;
+    if (params.base.record_trace) {
+      RoundStats rs;
+      rs.round = round;
+      rs.alive_begin = m;
+      rs.submitted = m;
+      rs.accepted = accepted_round;
+      rs.newly_burned = newly_burned;
+      rs.burned_total = static_cast<std::uint64_t>(
+          std::count(burned.begin(), burned.end(), std::uint8_t{1}));
+      res.trace.push_back(rs);
+    }
+  }
+
+  res.completed = alive_count == 0;
+  res.rounds = round;
+  res.alive_balls = alive_count;
+  res.loads.assign(accepted.begin(), accepted.end());
+  for (const std::uint32_t load : res.loads)
+    res.max_load = std::max<std::uint64_t>(res.max_load, load);
+  res.burned_servers = static_cast<std::uint64_t>(
+      std::count(burned.begin(), burned.end(), std::uint8_t{1}));
+  return res;
+}
+
+}  // namespace saer

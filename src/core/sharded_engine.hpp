@@ -1,0 +1,41 @@
+#pragma once
+// Distributed-memory-style execution of the protocol: servers are
+// partitioned into `num_shards` shards, each owning a contiguous id range;
+// Phase-1 requests are routed into per-(sender-shard, receiver-shard)
+// message buffers and each shard processes only its own inbox, mirroring
+// how an MPI deployment would exchange one all-to-all per half-round.
+//
+// Because all protocol randomness is counter-based on (seed, ball, round),
+// the sharded execution is REQUIRED to produce bit-identical results to
+// run_protocol() -- the test suite asserts exactly that.  This file is the
+// "how you would actually distribute it" companion of engine.cpp, and a
+// second independent implementation of Algorithm 1 for cross-validation.
+
+#include "core/protocol.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+struct ShardedParams {
+  ProtocolParams base;
+  std::uint32_t num_shards = 4;  ///< server-side shards (>= 1)
+};
+
+struct ShardedStats {
+  std::uint64_t cross_shard_messages = 0;  ///< requests leaving their shard
+  std::uint64_t local_messages = 0;        ///< requests staying in-shard
+  /// Load imbalance of the busiest shard vs the mean, per the final round.
+  double max_shard_imbalance = 0;
+};
+
+/// Runs the protocol with sharded message routing.  Returns the same
+/// RunResult as run_protocol plus routing statistics via `stats` (optional).
+[[nodiscard]] RunResult run_protocol_sharded(const BipartiteGraph& graph,
+                                             const ShardedParams& params,
+                                             ShardedStats* stats = nullptr);
+
+/// Shard owning server u under a contiguous block partition.
+[[nodiscard]] std::uint32_t server_shard(NodeId u, NodeId num_servers,
+                                         std::uint32_t num_shards);
+
+}  // namespace saer

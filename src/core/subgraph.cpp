@@ -1,0 +1,45 @@
+#include "core/subgraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace saer {
+
+BipartiteGraph assignment_subgraph(const BipartiteGraph& graph,
+                                   const RunResult& result) {
+  if (!result.completed)
+    throw std::invalid_argument(
+        "assignment_subgraph: run did not complete; no full assignment");
+  std::vector<Edge> edges;
+  edges.reserve(result.assignment.size());
+  // Ball ids are contiguous per client, so duplicates of one client's edges
+  // are adjacent after sorting; from_edges would reject them, dedupe first.
+  const std::uint64_t balls_per_client =
+      result.assignment.size() / graph.num_clients();
+  for (BallId b = 0; b < result.assignment.size(); ++b) {
+    const auto v = static_cast<NodeId>(b / balls_per_client);
+    edges.push_back({v, result.assignment[b]});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.client != b.client ? a.client < b.client : a.server < b.server;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return BipartiteGraph::from_edges(graph.num_clients(), graph.num_servers(),
+                                    std::move(edges));
+}
+
+SubgraphStats subgraph_stats(const BipartiteGraph& original,
+                             const BipartiteGraph& sub) {
+  SubgraphStats s;
+  for (NodeId v = 0; v < sub.num_clients(); ++v)
+    s.client_degree_max = std::max(s.client_degree_max, sub.client_degree(v));
+  for (NodeId u = 0; u < sub.num_servers(); ++u)
+    s.server_degree_max = std::max(s.server_degree_max, sub.server_degree(u));
+  s.edge_fraction = original.num_edges()
+                        ? static_cast<double>(sub.num_edges()) /
+                              static_cast<double>(original.num_edges())
+                        : 0.0;
+  return s;
+}
+
+}  // namespace saer

@@ -1,0 +1,28 @@
+#pragma once
+// The expander application (Section 1.1, footnote 5): Becchetti et al.'s
+// headline use of RAES is extracting a bounded-degree subgraph of G that is
+// an expander w.h.p.  The extracted subgraph keeps exactly the accepted
+// (client, server) assignment edges: every client has degree d, every
+// server degree <= c*d.  graph/spectral.hpp estimates its expansion.
+
+#include "core/protocol.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+/// Builds the bipartite subgraph induced by a completed run's assignment.
+/// Parallel balls of one client that landed on the same server collapse to
+/// a single edge (the subgraph is simple); with d = 1 client degrees are
+/// exactly 1.  Throws std::invalid_argument if the run did not complete.
+[[nodiscard]] BipartiteGraph assignment_subgraph(const BipartiteGraph& graph,
+                                                 const RunResult& result);
+
+struct SubgraphStats {
+  std::uint32_t client_degree_max = 0;
+  std::uint32_t server_degree_max = 0;
+  double edge_fraction = 0;  ///< |E_sub| / |E_G|
+};
+[[nodiscard]] SubgraphStats subgraph_stats(const BipartiteGraph& original,
+                                           const BipartiteGraph& sub);
+
+}  // namespace saer

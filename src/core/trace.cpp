@@ -1,0 +1,37 @@
+#include "core/trace.hpp"
+
+namespace saer {
+
+std::vector<double> acceptance_rates(const std::vector<RoundStats>& trace) {
+  std::vector<double> rates;
+  rates.reserve(trace.size());
+  for (const RoundStats& r : trace) {
+    rates.push_back(r.submitted
+                        ? static_cast<double>(r.accepted) /
+                              static_cast<double>(r.submitted)
+                        : 1.0);
+  }
+  return rates;
+}
+
+std::vector<double> alive_series(const std::vector<RoundStats>& trace,
+                                 std::uint64_t total_balls) {
+  std::vector<double> alive;
+  alive.reserve(trace.size() + 1);
+  alive.push_back(static_cast<double>(total_balls));
+  for (const RoundStats& r : trace)
+    alive.push_back(static_cast<double>(r.alive_begin - r.accepted));
+  return alive;
+}
+
+std::uint32_t first_round_below(const std::vector<RoundStats>& trace,
+                                std::uint64_t total_balls,
+                                std::uint64_t threshold) {
+  if (total_balls <= threshold) return 0;
+  for (const RoundStats& r : trace) {
+    if (r.alive_begin - r.accepted <= threshold) return r.round;
+  }
+  return 0;
+}
+
+}  // namespace saer

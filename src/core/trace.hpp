@@ -1,0 +1,41 @@
+#pragma once
+// Per-round observables of the protocol process.  The cheap ones are always
+// O(n) per round; the `deep` block holds the paper's analysis quantities
+// (Definition 3, 5, 6) and costs an O(E) scan per round, so it is opt-in.
+
+#include <cstdint>
+#include <vector>
+
+namespace saer {
+
+struct RoundStats {
+  std::uint32_t round = 0;          ///< 1-based round index
+  std::uint64_t alive_begin = 0;    ///< alive balls entering the round
+  std::uint64_t submitted = 0;      ///< requests sent this round (= alive_begin)
+  std::uint64_t accepted = 0;       ///< balls accepted this round
+  std::uint64_t newly_burned = 0;   ///< servers burned in this round (SAER)
+  std::uint64_t burned_total = 0;   ///< cumulative burned servers (SAER)
+  std::uint64_t saturated = 0;      ///< servers that rejected this round (RAES/SAER)
+  std::uint64_t r_max_server = 0;   ///< max balls received by one server
+
+  // Deep-trace quantities (valid when ProtocolParams::deep_trace):
+  double s_max = 0;                 ///< S_t = max_v fraction burned in N(v)
+  double k_max = 0;                 ///< K_t = max_v K_t(v) (Definition 6 / (26))
+  std::uint64_t r_max_neighborhood = 0;  ///< r_t = max_v r_t(N(v)) (Definition 5)
+};
+
+/// Fraction of balls accepted per round, for decay-rate fits.
+[[nodiscard]] std::vector<double> acceptance_rates(
+    const std::vector<RoundStats>& trace);
+
+/// Alive-ball series a_0 = total, a_t = alive after round t.
+[[nodiscard]] std::vector<double> alive_series(
+    const std::vector<RoundStats>& trace, std::uint64_t total_balls);
+
+/// First round index (1-based) whose alive count is <= threshold;
+/// 0 if never.  Used to locate the paper's Stage I / Stage II boundary.
+[[nodiscard]] std::uint32_t first_round_below(
+    const std::vector<RoundStats>& trace, std::uint64_t total_balls,
+    std::uint64_t threshold);
+
+}  // namespace saer

@@ -1,0 +1,52 @@
+#pragma once
+// Weighted-balls extension (related work [9, 12, 21]: weighted
+// balls-into-bins).  Every ball carries an integer weight; the threshold
+// rule applies to accumulated *weight* instead of ball count: a SAER server
+// burns once the total weight received since the start exceeds `capacity`,
+// a RAES server rejects a round that would push its accepted weight above
+// `capacity`.  With all weights 1 and capacity c*d this reduces exactly to
+// the paper's protocol (asserted by the test suite).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+struct WeightedParams {
+  Protocol protocol = Protocol::kSaer;
+  std::uint32_t d = 1;          ///< balls per client (weights vary per ball)
+  std::uint64_t capacity = 0;   ///< weight capacity per server (> 0)
+  std::uint64_t seed = 1;
+  std::uint32_t max_rounds = 0;
+};
+
+struct WeightedResult {
+  bool completed = false;
+  std::uint32_t rounds = 0;
+  std::uint64_t total_balls = 0;
+  std::uint64_t total_weight = 0;
+  std::uint64_t alive_balls = 0;
+  std::uint64_t work_messages = 0;
+  std::uint64_t max_weight_load = 0;  ///< max accepted weight on any server
+  std::uint64_t burned_servers = 0;
+  std::vector<NodeId> assignment;           ///< server per ball
+  std::vector<std::uint64_t> weight_loads;  ///< accepted weight per server
+};
+
+/// Runs the weighted protocol.  `weights[b]` is the weight of ball b
+/// (ball b belongs to client b / d); every weight must be in
+/// [1, capacity] or the ball could never be placed.
+[[nodiscard]] WeightedResult run_protocol_weighted(
+    const BipartiteGraph& graph, const WeightedParams& params,
+    const std::vector<std::uint32_t>& weights);
+
+/// Consistency audit (mirrors check_result for the weighted variant).
+void check_weighted_result(const BipartiteGraph& graph,
+                           const WeightedParams& params,
+                           const std::vector<std::uint32_t>& weights,
+                           const WeightedResult& result);
+
+}  // namespace saer

@@ -1,0 +1,109 @@
+#include "graph/bipartite_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace saer {
+
+BipartiteGraph BipartiteGraph::from_edges(NodeId num_clients, NodeId num_servers,
+                                          std::vector<Edge> edges,
+                                          bool allow_multi_edges) {
+  for (const Edge& e : edges) {
+    if (e.client >= num_clients)
+      throw std::invalid_argument("BipartiteGraph: client id out of range");
+    if (e.server >= num_servers)
+      throw std::invalid_argument("BipartiteGraph: server id out of range");
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.client != b.client ? a.client < b.client : a.server < b.server;
+  });
+  if (!allow_multi_edges) {
+    const auto dup = std::adjacent_find(edges.begin(), edges.end());
+    if (dup != edges.end())
+      throw std::invalid_argument("BipartiteGraph: duplicate edge");
+  }
+
+  BipartiteGraph g;
+  g.num_clients_ = num_clients;
+  g.num_servers_ = num_servers;
+  g.client_off_.assign(static_cast<std::size_t>(num_clients) + 1, 0);
+  g.server_off_.assign(static_cast<std::size_t>(num_servers) + 1, 0);
+  g.client_adj_.resize(edges.size());
+  g.server_adj_.resize(edges.size());
+
+  for (const Edge& e : edges) {
+    ++g.client_off_[e.client + 1];
+    ++g.server_off_[e.server + 1];
+  }
+  for (std::size_t i = 1; i < g.client_off_.size(); ++i)
+    g.client_off_[i] += g.client_off_[i - 1];
+  for (std::size_t i = 1; i < g.server_off_.size(); ++i)
+    g.server_off_[i] += g.server_off_[i - 1];
+
+  // Edges are sorted by (client, server): client CSR fills sequentially and
+  // stays sorted; the server orientation needs per-server cursors but also
+  // ends up sorted by client because we iterate clients in order.
+  std::vector<EdgeId> cursor(g.server_off_.begin(), g.server_off_.end() - 1);
+  std::size_t pos = 0;
+  for (const Edge& e : edges) {
+    g.client_adj_[pos++] = e.server;
+    g.server_adj_[cursor[e.server]++] = e.client;
+  }
+  return g;
+}
+
+bool BipartiteGraph::has_edge(NodeId client, NodeId server) const noexcept {
+  if (client >= num_clients_ || server >= num_servers_) return false;
+  const auto nb = client_neighbors(client);
+  return std::binary_search(nb.begin(), nb.end(), server);
+}
+
+std::vector<Edge> BipartiteGraph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(client_adj_.size());
+  for (NodeId v = 0; v < num_clients_; ++v)
+    for (NodeId u : client_neighbors(v)) out.push_back({v, u});
+  return out;
+}
+
+void BipartiteGraph::validate() const {
+  if (client_off_.size() != static_cast<std::size_t>(num_clients_) + 1 ||
+      server_off_.size() != static_cast<std::size_t>(num_servers_) + 1)
+    throw std::logic_error("BipartiteGraph: offset array size mismatch");
+  if (client_off_.front() != 0 || server_off_.front() != 0)
+    throw std::logic_error("BipartiteGraph: offsets must start at 0");
+  if (client_off_.back() != client_adj_.size() ||
+      server_off_.back() != server_adj_.size() ||
+      client_adj_.size() != server_adj_.size())
+    throw std::logic_error("BipartiteGraph: offset/adjacency size mismatch");
+  if (!std::is_sorted(client_off_.begin(), client_off_.end()) ||
+      !std::is_sorted(server_off_.begin(), server_off_.end()))
+    throw std::logic_error("BipartiteGraph: offsets not monotone");
+
+  std::vector<EdgeId> server_seen(num_servers_, 0);
+  for (NodeId v = 0; v < num_clients_; ++v) {
+    const auto nb = client_neighbors(v);
+    if (!std::is_sorted(nb.begin(), nb.end()))
+      throw std::logic_error("BipartiteGraph: client adjacency not sorted");
+    for (NodeId u : nb) {
+      if (u >= num_servers_)
+        throw std::logic_error("BipartiteGraph: server id out of range");
+      ++server_seen[u];
+    }
+  }
+  for (NodeId u = 0; u < num_servers_; ++u) {
+    if (server_seen[u] != server_degree(u))
+      throw std::logic_error("BipartiteGraph: orientations disagree on degree");
+    const auto nb = server_neighbors(u);
+    if (!std::is_sorted(nb.begin(), nb.end()))
+      throw std::logic_error("BipartiteGraph: server adjacency not sorted");
+    for (NodeId v : nb) {
+      if (v >= num_clients_)
+        throw std::logic_error("BipartiteGraph: client id out of range");
+      if (!has_edge(v, u))
+        throw std::logic_error("BipartiteGraph: server edge missing from client side");
+    }
+  }
+}
+
+}  // namespace saer

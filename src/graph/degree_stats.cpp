@@ -1,0 +1,56 @@
+#include "graph/degree_stats.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace saer {
+
+DegreeStats degree_stats(const BipartiteGraph& g) {
+  DegreeStats s;
+  if (g.num_clients() == 0 || g.num_servers() == 0) return s;
+
+  s.client_min = std::numeric_limits<std::uint32_t>::max();
+  s.server_min = std::numeric_limits<std::uint32_t>::max();
+  double csum = 0, ssum = 0;
+  for (NodeId v = 0; v < g.num_clients(); ++v) {
+    const auto d = g.client_degree(v);
+    s.client_min = std::min(s.client_min, d);
+    s.client_max = std::max(s.client_max, d);
+    csum += d;
+  }
+  for (NodeId u = 0; u < g.num_servers(); ++u) {
+    const auto d = g.server_degree(u);
+    s.server_min = std::min(s.server_min, d);
+    s.server_max = std::max(s.server_max, d);
+    ssum += d;
+  }
+  s.client_mean = csum / g.num_clients();
+  s.server_mean = ssum / g.num_servers();
+  s.rho = s.client_min > 0
+              ? static_cast<double>(s.server_max) / s.client_min
+              : std::numeric_limits<double>::infinity();
+  const double log2n = std::log2(static_cast<double>(g.num_clients()));
+  s.eta = log2n > 0 ? s.client_min / (log2n * log2n) : 0.0;
+  return s;
+}
+
+bool satisfies_theorem1(const BipartiteGraph& g, double eta, double rho) {
+  const DegreeStats s = degree_stats(g);
+  const double log2n = std::log2(static_cast<double>(g.num_clients()));
+  return s.client_min >= eta * log2n * log2n && s.rho <= rho;
+}
+
+std::string describe(const BipartiteGraph& g) {
+  const DegreeStats s = degree_stats(g);
+  std::ostringstream os;
+  os << "bipartite graph: " << g.num_clients() << " clients, "
+     << g.num_servers() << " servers, " << g.num_edges() << " edges; "
+     << "client degree [" << s.client_min << ", " << s.client_max
+     << "] mean " << s.client_mean << "; server degree [" << s.server_min
+     << ", " << s.server_max << "] mean " << s.server_mean
+     << "; rho=" << s.rho << " eta=" << s.eta;
+  return os.str();
+}
+
+}  // namespace saer

@@ -1,0 +1,34 @@
+#pragma once
+// Degree audit for Theorem 1's hypotheses: Delta_min(C), Delta_max(S),
+// the almost-regularity ratio rho, and the eta constant relating
+// Delta_min(C) to log^2 n.
+
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+struct DegreeStats {
+  std::uint32_t client_min = 0;
+  std::uint32_t client_max = 0;
+  double client_mean = 0;
+  std::uint32_t server_min = 0;
+  std::uint32_t server_max = 0;
+  double server_mean = 0;
+  /// rho = Delta_max(S) / Delta_min(C); infinity if some client is isolated.
+  double rho = 0;
+  /// eta = Delta_min(C) / log2(n)^2 with n = num_clients; the theorem wants
+  /// eta bounded below by a constant.
+  double eta = 0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const BipartiteGraph& g);
+
+/// True if the graph satisfies Theorem 1's hypotheses for the given
+/// constants: Delta_min(C) >= eta * log2(n)^2 and rho' <= rho.
+[[nodiscard]] bool satisfies_theorem1(const BipartiteGraph& g, double eta,
+                                      double rho);
+
+/// Human-readable one-line summary used by examples and figure binaries.
+[[nodiscard]] std::string describe(const BipartiteGraph& g);
+
+}  // namespace saer

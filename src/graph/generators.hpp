@@ -1,0 +1,93 @@
+#pragma once
+// Topology generators for all experiment families.
+//
+// Regular / almost-regular random topologies exercise Theorem 1's setting;
+// the proximity generators (ring, torus grid) model the metric-space
+// motivation of Section 1.1(ii); the trust generator models 1.1(i); the
+// irregular generators (Erdos-Renyi, power-law) probe robustness outside the
+// theorem's hypotheses.
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+/// Complete bipartite graph K_{nc,ns} (the classic balls-into-bins setting).
+[[nodiscard]] BipartiteGraph complete_bipartite(NodeId num_clients,
+                                                NodeId num_servers);
+
+/// Random Delta-regular bipartite graph on n clients and n servers, sampled
+/// as the union of `delta` uniform random perfect matchings with a repair
+/// pass that removes duplicate edges (so the result is simple and exactly
+/// delta-regular on both sides). Requires delta <= n.
+[[nodiscard]] BipartiteGraph random_regular(NodeId n, std::uint32_t delta,
+                                            std::uint64_t seed);
+
+/// Ring proximity: client v connects to servers v, v+1, ..., v+delta-1
+/// (mod n). Exactly delta-regular on both sides, maximal locality.
+[[nodiscard]] BipartiteGraph ring_proximity(NodeId n, std::uint32_t delta);
+
+/// Torus grid proximity: n = side*side clients and servers placed on the
+/// same 2-D torus; client (x,y) connects to all servers within Chebyshev
+/// radius `radius`, giving degree (2*radius+1)^2 on both sides.
+[[nodiscard]] BipartiteGraph grid_proximity(NodeId side, std::uint32_t radius);
+
+/// Bipartite Erdos-Renyi: every (client, server) pair is an edge
+/// independently with probability p.
+[[nodiscard]] BipartiteGraph erdos_renyi_bipartite(NodeId num_clients,
+                                                   NodeId num_servers, double p,
+                                                   std::uint64_t seed);
+
+/// Parameters for the almost-regular mixture from the paper's running
+/// example (Section 1.2 / after Theorem 1): most clients have `base_delta`
+/// random servers, a `heavy_fraction` of clients has `heavy_delta`
+/// (e.g. Theta(sqrt n)); server degrees stay near-uniform because client
+/// choices are uniform over servers.
+struct AlmostRegularParams {
+  std::uint32_t base_delta = 0;
+  std::uint32_t heavy_delta = 0;
+  double heavy_fraction = 0.0;  ///< fraction of clients that are heavy
+};
+[[nodiscard]] BipartiteGraph almost_regular(NodeId n,
+                                            const AlmostRegularParams& params,
+                                            std::uint64_t seed);
+
+/// Trust topology (Section 1.1(i)): servers are split into `num_groups`
+/// contiguous groups; every client trusts one uniformly random group and
+/// connects to `delta` distinct random servers inside it. Requires
+/// delta <= n / num_groups.
+[[nodiscard]] BipartiteGraph trust_groups(NodeId n, std::uint32_t delta,
+                                          std::uint32_t num_groups,
+                                          std::uint64_t seed);
+
+/// Irregular stress topology: client degrees follow a bounded Pareto with
+/// the given minimum degree and tail exponent; targets are uniform random
+/// distinct servers. Violates almost-regularity on purpose.
+[[nodiscard]] BipartiteGraph power_law_clients(NodeId n, std::uint32_t min_delta,
+                                               double exponent,
+                                               std::uint64_t seed);
+
+/// Bipartite configuration model: samples a simple bipartite graph whose
+/// client and server degree sequences match the given vectors exactly
+/// (their sums must be equal).  Stub matching with the same safe-swap
+/// repair as random_regular.  This is the substrate for experiments with
+/// arbitrary prescribed degree profiles.
+[[nodiscard]] BipartiteGraph configuration_model(
+    const std::vector<std::uint32_t>& client_degrees,
+    const std::vector<std::uint32_t>& server_degrees, std::uint64_t seed);
+
+/// Adversarial "shared blocks" topology: clients are partitioned into
+/// blocks of `delta` consecutive clients, and all clients of a block share
+/// exactly the same neighborhood of `delta` consecutive servers.  The graph
+/// is delta-regular on both sides (so Theorem 1 covers it), but the
+/// r_t(N(v)) random variables of clients in one block are maximally
+/// correlated -- the worst case for the stochastic-dependence issues the
+/// paper's analysis has to handle (Section 1.2).  Requires delta | n.
+[[nodiscard]] BipartiteGraph shared_blocks(NodeId n, std::uint32_t delta);
+
+/// Chooses Delta = round(eta * log2(n)^2), the smallest degree scale covered
+/// by Theorem 1; convenience used across benches and tests.
+[[nodiscard]] std::uint32_t theorem_degree(NodeId n, double eta = 1.0);
+
+}  // namespace saer

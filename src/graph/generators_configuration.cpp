@@ -1,0 +1,116 @@
+// Bipartite configuration model: stub matching with duplicate repair.
+//
+// Client stubs (client id repeated deg(v) times) are matched against a
+// uniformly shuffled list of server stubs.  The resulting multigraph is
+// repaired into a simple graph by conflict-queue swaps that preserve both
+// degree sequences: a duplicate edge (v,u) is fixed by picking a random
+// other stub pair (w,x) and rewiring to (v,x),(w,u) when that creates no
+// new duplicate.
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace saer {
+
+namespace {
+
+/// 64-bit key of a (client, server) pair for the duplicate-edge set.
+constexpr std::uint64_t edge_key(NodeId v, NodeId u) {
+  return (static_cast<std::uint64_t>(v) << 32) | u;
+}
+
+}  // namespace
+
+BipartiteGraph configuration_model(
+    const std::vector<std::uint32_t>& client_degrees,
+    const std::vector<std::uint32_t>& server_degrees, std::uint64_t seed) {
+  const auto nc = static_cast<NodeId>(client_degrees.size());
+  const auto ns = static_cast<NodeId>(server_degrees.size());
+  const std::uint64_t m_clients = std::accumulate(
+      client_degrees.begin(), client_degrees.end(), std::uint64_t{0});
+  const std::uint64_t m_servers = std::accumulate(
+      server_degrees.begin(), server_degrees.end(), std::uint64_t{0});
+  if (m_clients != m_servers)
+    throw std::invalid_argument(
+        "configuration_model: degree sequences must have equal sums");
+  for (NodeId v = 0; v < nc; ++v) {
+    if (client_degrees[v] > ns)
+      throw std::invalid_argument(
+          "configuration_model: client degree exceeds server count");
+  }
+  for (NodeId u = 0; u < ns; ++u) {
+    if (server_degrees[u] > nc)
+      throw std::invalid_argument(
+          "configuration_model: server degree exceeds client count");
+  }
+
+  Xoshiro256ss rng(seed);
+  // stub arrays: client_stub[i] pairs with server_stub[i].
+  std::vector<NodeId> client_stub;
+  client_stub.reserve(m_clients);
+  for (NodeId v = 0; v < nc; ++v)
+    client_stub.insert(client_stub.end(), client_degrees[v], v);
+  std::vector<NodeId> server_stub;
+  server_stub.reserve(m_servers);
+  for (NodeId u = 0; u < ns; ++u)
+    server_stub.insert(server_stub.end(), server_degrees[u], u);
+  for (std::size_t i = server_stub.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.bounded(i));
+    std::swap(server_stub[i - 1], server_stub[j]);
+  }
+
+  // Duplicate repair on the edge *multiset*: a slot i is a duplicate while
+  // count(edge_i) >= 2.  Rewiring swaps the server stubs of slots i and j,
+  // allowed only when both new edges are currently absent -- so a rewiring
+  // strictly reduces the duplicate count and never creates new ones.
+  std::unordered_map<std::uint64_t, std::uint32_t> count;
+  count.reserve(m_clients * 2);
+  std::vector<std::size_t> conflicts;
+  for (std::size_t i = 0; i < client_stub.size(); ++i) {
+    if (++count[edge_key(client_stub[i], server_stub[i])] >= 2)
+      conflicts.push_back(i);
+  }
+
+  const std::uint64_t max_attempts = 1000 + 2048ULL * conflicts.size();
+  std::uint64_t attempts = 0;
+  for (std::size_t head = 0; head < conflicts.size(); ++head) {
+    const std::size_t i = conflicts[head];
+    const std::uint64_t key_i = edge_key(client_stub[i], server_stub[i]);
+    if (count[key_i] < 2) continue;  // already fixed by an earlier rewiring
+    bool fixed = false;
+    for (int attempt = 0; attempt < 2048 && !fixed; ++attempt) {
+      if (++attempts > max_attempts)
+        throw std::runtime_error("configuration_model: repair did not converge");
+      const auto j = static_cast<std::size_t>(rng.bounded(client_stub.size()));
+      if (j == i) continue;
+      const NodeId vi = client_stub[i], ui = server_stub[i];
+      const NodeId vj = client_stub[j], uj = server_stub[j];
+      if (ui == uj || vi == vj) continue;
+      const std::uint64_t key_j = edge_key(vj, uj);
+      const std::uint64_t new_i = edge_key(vi, uj);
+      const std::uint64_t new_j = edge_key(vj, ui);
+      if (count[new_i] != 0 || count[new_j] != 0) continue;
+      --count[key_i];
+      if (--count[key_j] >= 2) conflicts.push_back(j);  // j was a duplicate too
+      ++count[new_i];
+      ++count[new_j];
+      std::swap(server_stub[i], server_stub[j]);
+      fixed = true;
+    }
+    if (!fixed)
+      throw std::runtime_error("configuration_model: no safe rewiring found");
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(client_stub.size());
+  for (std::size_t i = 0; i < client_stub.size(); ++i)
+    edges.push_back({client_stub[i], server_stub[i]});
+  return BipartiteGraph::from_edges(nc, ns, std::move(edges));
+}
+
+}  // namespace saer

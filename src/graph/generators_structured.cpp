@@ -1,0 +1,78 @@
+// Structured mixtures: the paper's almost-regular example topology and the
+// trust-group topology of Section 1.1(i).
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace saer {
+
+namespace {
+
+/// Distinct uniform sample of `k` servers from the id interval
+/// [group_begin, group_begin + group_size), appended to `out`.
+void sample_distinct_in_range(NodeId group_begin, NodeId group_size,
+                              std::uint32_t k, Xoshiro256ss& rng, NodeId client,
+                              std::vector<Edge>& out) {
+  if (k > group_size)
+    throw std::invalid_argument("sample_distinct_in_range: k > group size");
+  std::unordered_set<NodeId> chosen;
+  chosen.reserve(k * 2);
+  for (NodeId j = group_size - k; j < group_size; ++j) {
+    const auto t = static_cast<NodeId>(rng.bounded(static_cast<std::uint64_t>(j) + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  for (NodeId local : chosen) out.push_back({client, group_begin + local});
+}
+
+}  // namespace
+
+BipartiteGraph almost_regular(NodeId n, const AlmostRegularParams& params,
+                              std::uint64_t seed) {
+  if (params.base_delta == 0 || params.base_delta > n)
+    throw std::invalid_argument("almost_regular: need 0 < base_delta <= n");
+  if (params.heavy_fraction < 0.0 || params.heavy_fraction > 1.0)
+    throw std::invalid_argument("almost_regular: heavy_fraction outside [0,1]");
+  const std::uint32_t heavy =
+      params.heavy_delta == 0 ? params.base_delta : params.heavy_delta;
+  if (heavy > n)
+    throw std::invalid_argument("almost_regular: heavy_delta > n");
+
+  Xoshiro256ss rng(seed);
+  const auto num_heavy = static_cast<NodeId>(
+      params.heavy_fraction * static_cast<double>(n));
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * params.base_delta +
+                static_cast<std::size_t>(num_heavy) * heavy);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t deg = v < num_heavy ? heavy : params.base_delta;
+    sample_distinct_in_range(0, n, deg, rng, v, edges);
+  }
+  return BipartiteGraph::from_edges(n, n, std::move(edges));
+}
+
+BipartiteGraph trust_groups(NodeId n, std::uint32_t delta,
+                            std::uint32_t num_groups, std::uint64_t seed) {
+  if (num_groups == 0 || num_groups > n)
+    throw std::invalid_argument("trust_groups: need 0 < num_groups <= n");
+  const NodeId group_size = n / num_groups;  // last group absorbs remainder
+  if (delta == 0 || delta > group_size)
+    throw std::invalid_argument("trust_groups: need 0 < delta <= n/num_groups");
+
+  Xoshiro256ss rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * delta);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto g = static_cast<NodeId>(rng.bounded(num_groups));
+    const NodeId begin = g * group_size;
+    const NodeId size =
+        g + 1 == num_groups ? n - begin : group_size;
+    sample_distinct_in_range(begin, size, delta, rng, v, edges);
+  }
+  return BipartiteGraph::from_edges(n, n, std::move(edges));
+}
+
+}  // namespace saer

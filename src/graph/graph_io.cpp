@@ -1,0 +1,64 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace saer {
+
+void write_graph(std::ostream& os, const BipartiteGraph& g) {
+  os << "saer-bipartite 1\n";
+  os << g.num_clients() << ' ' << g.num_servers() << ' ' << g.num_edges()
+     << '\n';
+  for (NodeId v = 0; v < g.num_clients(); ++v)
+    for (NodeId u : g.client_neighbors(v)) os << v << ' ' << u << '\n';
+  if (!os) throw std::runtime_error("write_graph: stream failure");
+}
+
+void save_graph(const std::string& path, const BipartiteGraph& g) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("save_graph: cannot open " + path);
+  write_graph(file, g);
+}
+
+BipartiteGraph read_graph(std::istream& is) {
+  std::string line;
+  auto next_content_line = [&]() -> std::string {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '#') return line;
+    }
+    throw std::runtime_error("read_graph: unexpected end of input");
+  };
+
+  std::istringstream header(next_content_line());
+  std::string magic;
+  int version = 0;
+  header >> magic >> version;
+  if (magic != "saer-bipartite" || version != 1)
+    throw std::runtime_error("read_graph: bad header");
+
+  std::istringstream sizes(next_content_line());
+  std::uint64_t nc = 0, ns = 0, m = 0;
+  sizes >> nc >> ns >> m;
+  if (!sizes) throw std::runtime_error("read_graph: bad size line");
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::istringstream row(next_content_line());
+    std::uint64_t v = 0, u = 0;
+    row >> v >> u;
+    if (!row) throw std::runtime_error("read_graph: bad edge line");
+    edges.push_back({static_cast<NodeId>(v), static_cast<NodeId>(u)});
+  }
+  return BipartiteGraph::from_edges(static_cast<NodeId>(nc),
+                                    static_cast<NodeId>(ns), std::move(edges));
+}
+
+BipartiteGraph load_graph(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("load_graph: cannot open " + path);
+  return read_graph(file);
+}
+
+}  // namespace saer

@@ -1,0 +1,24 @@
+#pragma once
+// Plain-text edge-list persistence so experiment topologies can be frozen
+// and replayed.  Format:
+//
+//   saer-bipartite 1
+//   <num_clients> <num_servers> <num_edges>
+//   <client> <server>      (one edge per line, any order)
+//
+// Lines starting with '#' are comments.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+void write_graph(std::ostream& os, const BipartiteGraph& g);
+void save_graph(const std::string& path, const BipartiteGraph& g);
+
+[[nodiscard]] BipartiteGraph read_graph(std::istream& is);
+[[nodiscard]] BipartiteGraph load_graph(const std::string& path);
+
+}  // namespace saer

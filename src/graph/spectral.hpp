@@ -1,0 +1,37 @@
+#pragma once
+// Spectral expansion estimation for bipartite graphs, used to verify the
+// expander property of the assignment subgraph (core/subgraph.hpp).
+//
+// For a bipartite graph we analyze the lazy random walk on the client side:
+// from client v, move to a uniform neighbor server u, then to a uniform
+// client of u (the "projection walk").  Its transition matrix P has top
+// eigenvalue 1 with the stationary distribution; the second eigenvalue
+// lambda_2 measures expansion (lambda_2 bounded away from 1 <=> expander).
+// We estimate lambda_2 by power iteration on the component orthogonal to
+// the stationary vector.
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+struct SpectralEstimate {
+  double lambda2 = 1.0;  ///< second eigenvalue estimate of the projection walk
+  std::uint32_t iterations = 0;
+  bool converged = false;
+  /// Spectral gap 1 - lambda2 (0 for disconnected/bipartite-degenerate).
+  [[nodiscard]] double gap() const { return 1.0 - lambda2; }
+};
+
+/// Power-iteration estimate of lambda_2 of the client-projection walk.
+/// `iterations` bounds the work; `tolerance` is the relative Rayleigh
+/// quotient change that counts as converged.  Degenerate graphs (isolated
+/// clients) are allowed: isolated clients simply hold their mass, making
+/// lambda2 ~ 1, the correct "not an expander" verdict.
+[[nodiscard]] SpectralEstimate estimate_lambda2(const BipartiteGraph& g,
+                                                std::uint32_t iterations = 200,
+                                                double tolerance = 1e-7,
+                                                std::uint64_t seed = 1);
+
+}  // namespace saer

@@ -1,0 +1,55 @@
+#pragma once
+// Asynchronous execution variant: an event-driven simulator in which each
+// message experiences an independent random delay instead of global
+// synchronous rounds.  The threshold rules remain well-defined because a
+// server's decision depends only on its own received count ("has my
+// cumulative intake exceeded c*d?") -- not on round structure.  This probes
+// the robustness of the protocol outside the synchronous model of Section
+// 2.1 (the paper's analysis is synchronous; Section 4 asks about dynamic /
+// less idealized settings).
+//
+// Semantics:
+//  * a ball in flight arrives at its target after Uniform{1..max_delay}
+//    time units;
+//  * on arrival the server applies the per-request SAER rule (burn when the
+//    cumulative intake would exceed capacity; burned servers reject) or the
+//    per-request RAES rule (reject only if full);
+//  * the reply travels back with an independent delay, after which a
+//    rejected ball immediately re-launches to a fresh uniform neighbor.
+// With max_delay = 1 this degenerates to the synchronous process (modulo
+// the per-request rather than per-round threshold decision).
+
+#include <cstdint>
+
+#include "core/protocol.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace saer {
+
+struct AsyncParams {
+  ProtocolParams base;
+  /// Message delays are Uniform{1, ..., max_delay} time units; >= 1.
+  std::uint32_t max_delay = 4;
+  /// Simulation horizon in time units; 0 selects a generous default.
+  std::uint64_t max_time = 0;
+};
+
+struct AsyncResult {
+  bool completed = false;
+  std::uint64_t finish_time = 0;   ///< time the last ball settled
+  std::uint64_t total_balls = 0;
+  std::uint64_t unassigned_balls = 0;
+  std::uint64_t work_messages = 0; ///< requests + replies delivered
+  std::uint64_t max_load = 0;
+  std::uint64_t burned_servers = 0;
+  /// Per-ball settle time percentiles over assigned balls.
+  double settle_mean = 0;
+  std::uint64_t settle_p99 = 0;
+  std::vector<std::uint32_t> loads;
+};
+
+/// Runs the asynchronous process to quiescence or the time horizon.
+[[nodiscard]] AsyncResult run_async(const BipartiteGraph& graph,
+                                    const AsyncParams& params);
+
+}  // namespace saer

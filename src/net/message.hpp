@@ -1,0 +1,25 @@
+#pragma once
+// Wire format of the fully-decentralized model M (Section 2.1):
+// clients send ball ids over a local link; servers answer one bit.
+// Nothing else crosses the network -- in particular no load values and no
+// global ids, which is what gives the protocol its privacy property
+// (remark (ii) after Algorithm 1).
+
+#include <cstdint>
+
+namespace saer {
+
+/// Phase-1 message: client -> server over one of the client's links.
+struct BallRequest {
+  std::uint32_t client;      ///< resolved by the network layer, not the server
+  std::uint32_t ball_local;  ///< client-local ball label in [0, d)
+};
+
+/// Phase-2 message: server -> client, one bit plus the echoed ball label so
+/// the client can match the reply to its request.
+struct BallReply {
+  std::uint32_t ball_local;
+  bool accept;
+};
+
+}  // namespace saer

@@ -1,0 +1,59 @@
+#include "net/nodes.hpp"
+
+#include <stdexcept>
+
+namespace saer {
+
+ClientNode::ClientNode(std::uint32_t degree, std::uint32_t d, std::uint64_t seed)
+    : degree_(degree),
+      alive_count_(d),
+      alive_(d, 1),
+      pending_link_(d, 0),
+      accepted_link_(d, 0),
+      rng_(seed) {
+  if (degree == 0) throw std::invalid_argument("ClientNode: degree must be > 0");
+  if (d == 0) throw std::invalid_argument("ClientNode: d must be > 0");
+}
+
+void ClientNode::send_requests(
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>& out) {
+  out.clear();
+  for (std::uint32_t ball = 0; ball < alive_.size(); ++ball) {
+    if (!alive_[ball]) continue;
+    const auto link = static_cast<std::uint32_t>(rng_.bounded(degree_));
+    pending_link_[ball] = link;
+    out.emplace_back(link, ball);
+  }
+}
+
+void ClientNode::receive_reply(const BallReply& reply) {
+  if (reply.ball_local >= alive_.size())
+    throw std::logic_error("ClientNode: reply for unknown ball");
+  if (!alive_[reply.ball_local])
+    throw std::logic_error("ClientNode: reply for settled ball");
+  if (reply.accept) {
+    alive_[reply.ball_local] = 0;
+    accepted_link_[reply.ball_local] = pending_link_[reply.ball_local];
+    --alive_count_;
+  }
+}
+
+bool ServerNode::process_round(std::uint32_t requests_received) {
+  if (requests_received == 0) return false;
+  received_total_ += requests_received;
+  if (protocol_ == Protocol::kSaer) {
+    if (burned_) return false;
+    if (received_total_ > capacity_) {
+      burned_ = true;
+      return false;
+    }
+    accepted_ += requests_received;
+    return true;
+  }
+  // RAES
+  if (accepted_ + requests_received > capacity_) return false;
+  accepted_ += requests_received;
+  return true;
+}
+
+}  // namespace saer

@@ -1,0 +1,73 @@
+#pragma once
+// Node programs for the message-level simulator.  Each node sees only its
+// local state and mailbox, mirroring how a real deployment of Algorithm 1
+// would be written; the SyncNetwork in simulator.hpp shuttles messages.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "net/message.hpp"
+#include "util/rng.hpp"
+
+namespace saer {
+
+/// A client with d balls and `degree` local links.  It does not know which
+/// servers its links lead to, nor any global parameter (remark (ii)).
+class ClientNode {
+ public:
+  ClientNode(std::uint32_t degree, std::uint32_t d, std::uint64_t seed);
+
+  /// Phase 1: emits (link, ball_local) picks for every alive ball.
+  /// Each pick is independent and uniform over links, with replacement.
+  void send_requests(std::vector<std::pair<std::uint32_t, std::uint32_t>>& out);
+
+  /// Phase 2: consumes the replies to this round's requests.
+  void receive_reply(const BallReply& reply);
+
+  [[nodiscard]] bool done() const noexcept { return alive_count_ == 0; }
+  [[nodiscard]] std::uint32_t alive_balls() const noexcept { return alive_count_; }
+  [[nodiscard]] bool ball_alive(std::uint32_t ball) const {
+    return alive_.at(ball) != 0;
+  }
+  /// Link over which ball i was accepted; only valid once the ball settled.
+  [[nodiscard]] std::uint32_t accepted_link(std::uint32_t ball) const {
+    return accepted_link_.at(ball);
+  }
+
+ private:
+  std::uint32_t degree_;
+  std::uint32_t alive_count_;
+  std::vector<std::uint8_t> alive_;           // per ball
+  std::vector<std::uint32_t> pending_link_;   // link used this round, per ball
+  std::vector<std::uint32_t> accepted_link_;  // per ball
+  Xoshiro256ss rng_;
+};
+
+/// A server knowing only its capacity c*d; it cannot tell clients apart
+/// beyond the link a request arrived on.
+class ServerNode {
+ public:
+  ServerNode(Protocol protocol, std::uint64_t capacity)
+      : protocol_(protocol), capacity_(capacity) {}
+
+  /// Phase 2: decides the verdict for the whole round given the number of
+  /// requests that arrived (Algorithm 1, lines 7-17 for SAER; the RAES rule
+  /// otherwise).  Returns the single accept/reject bit for the round.
+  bool process_round(std::uint32_t requests_received);
+
+  [[nodiscard]] std::uint64_t load() const noexcept { return accepted_; }
+  [[nodiscard]] bool burned() const noexcept { return burned_; }
+  [[nodiscard]] std::uint64_t received_total() const noexcept {
+    return received_total_;
+  }
+
+ private:
+  Protocol protocol_;
+  std::uint64_t capacity_;
+  std::uint64_t received_total_ = 0;
+  std::uint64_t accepted_ = 0;
+  bool burned_ = false;
+};
+
+}  // namespace saer

@@ -1,0 +1,120 @@
+#include "net/simulator.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace saer {
+
+MessageSimulator::MessageSimulator(const BipartiteGraph& graph,
+                                   const ProtocolParams& params)
+    : graph_(graph),
+      params_(params),
+      inbox_count_(graph.num_servers(), 0),
+      verdict_(graph.num_servers(), 0),
+      alive_balls_(static_cast<std::uint64_t>(graph.num_clients()) * params.d),
+      max_rounds_(params.max_rounds
+                      ? params.max_rounds
+                      : ProtocolParams::default_max_rounds(graph.num_clients())) {
+  params_.validate();
+  clients_.reserve(graph.num_clients());
+  for (NodeId v = 0; v < graph.num_clients(); ++v) {
+    clients_.emplace_back(graph.client_degree(v), params.d,
+                          mix64(params.seed, v));
+  }
+  servers_.reserve(graph.num_servers());
+  for (NodeId u = 0; u < graph.num_servers(); ++u) {
+    servers_.emplace_back(params.protocol, params.capacity());
+  }
+}
+
+std::uint64_t MessageSimulator::step() {
+  ++round_;
+  std::uint64_t delivered = 0;
+
+  // Phase 1: deliver all client requests.  The network resolves each
+  // (client, link) pair to a server id; servers only see arrival counts
+  // because requests within a round are interchangeable for the threshold
+  // rule (the whole round is accepted or rejected as a block).
+  std::fill(inbox_count_.begin(), inbox_count_.end(), 0);
+  // Per-client request lists are kept so replies can be routed back.
+  struct Pending {
+    NodeId client;
+    NodeId server;
+    std::uint32_t ball;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(alive_balls_);
+  for (NodeId v = 0; v < graph_.num_clients(); ++v) {
+    ClientNode& c = clients_[v];
+    if (c.done()) continue;
+    c.send_requests(requests_);
+    for (const auto& [link, ball] : requests_) {
+      const NodeId u = graph_.client_neighbor(v, link);
+      ++inbox_count_[u];
+      pending.push_back({v, u, ball});
+      ++delivered;
+    }
+  }
+
+  // Phase 2: each server issues its single verdict bit for the round.
+  for (NodeId u = 0; u < graph_.num_servers(); ++u) {
+    verdict_[u] = servers_[u].process_round(inbox_count_[u]) ? 1 : 0;
+  }
+
+  // Reply delivery.
+  for (const Pending& p : pending) {
+    const BallReply reply{p.ball, verdict_[p.server] != 0};
+    clients_[p.client].receive_reply(reply);
+  }
+
+  alive_balls_ = 0;
+  for (const ClientNode& c : clients_) alive_balls_ += c.alive_balls();
+  work_ += 2 * delivered;
+  return delivered;
+}
+
+RunResult MessageSimulator::run() {
+  RunResult res;
+  res.total_balls = static_cast<std::uint64_t>(graph_.num_clients()) * params_.d;
+  while (!done() && round_ < max_rounds_) {
+    const std::uint64_t alive_before = alive_balls_;
+    const std::uint64_t submitted = step();
+    if (params_.record_trace) {
+      RoundStats stats;
+      stats.round = round_;
+      stats.alive_begin = alive_before;
+      stats.submitted = submitted;
+      stats.accepted = alive_before - alive_balls_;
+      res.trace.push_back(stats);
+    }
+  }
+  res.completed = done();
+  res.rounds = round_;
+  res.alive_balls = alive_balls_;
+  res.work_messages = work_;
+  res.loads.resize(graph_.num_servers());
+  for (NodeId u = 0; u < graph_.num_servers(); ++u) {
+    res.loads[u] = static_cast<std::uint32_t>(servers_[u].load());
+    res.max_load = std::max<std::uint64_t>(res.max_load, servers_[u].load());
+    res.burned_servers += servers_[u].burned() ? 1 : 0;
+  }
+  // Assignment reconstruction from accepted links.
+  res.assignment.assign(res.total_balls, kUnassigned);
+  for (NodeId v = 0; v < graph_.num_clients(); ++v) {
+    const ClientNode& c = clients_[v];
+    for (std::uint32_t ball = 0; ball < params_.d; ++ball) {
+      if (c.ball_alive(ball)) continue;
+      const NodeId u = graph_.client_neighbor(v, c.accepted_link(ball));
+      res.assignment[static_cast<BallId>(v) * params_.d + ball] = u;
+    }
+  }
+  return res;
+}
+
+RunResult run_message_simulation(const BipartiteGraph& graph,
+                                 const ProtocolParams& params) {
+  return MessageSimulator(graph, params).run();
+}
+
+}  // namespace saer

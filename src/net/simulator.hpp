@@ -1,0 +1,56 @@
+#pragma once
+// Synchronous network driving the node programs of nodes.hpp.  One call to
+// `step()` performs exactly one model round: every client's Phase-1
+// requests are delivered, every server answers its one bit, replies are
+// delivered back.  The simulator is the reference implementation used to
+// cross-validate the vectorized engine; it is O(messages) per round but
+// deliberately mirrors the distributed model instead of optimizing.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "net/nodes.hpp"
+
+namespace saer {
+
+class MessageSimulator {
+ public:
+  MessageSimulator(const BipartiteGraph& graph, const ProtocolParams& params);
+
+  /// Executes one round; returns the number of requests delivered.
+  std::uint64_t step();
+
+  /// Runs until completion or the round cap; returns a RunResult in the same
+  /// shape as the vectorized engine's.
+  [[nodiscard]] RunResult run();
+
+  [[nodiscard]] bool done() const noexcept { return alive_balls_ == 0; }
+  [[nodiscard]] std::uint32_t rounds() const noexcept { return round_; }
+  [[nodiscard]] std::uint64_t alive_balls() const noexcept { return alive_balls_; }
+  [[nodiscard]] std::uint64_t work_messages() const noexcept { return work_; }
+
+  [[nodiscard]] const ClientNode& client(NodeId v) const { return clients_.at(v); }
+  [[nodiscard]] const ServerNode& server(NodeId u) const { return servers_.at(u); }
+
+ private:
+  const BipartiteGraph& graph_;
+  ProtocolParams params_;
+  std::vector<ClientNode> clients_;
+  std::vector<ServerNode> servers_;
+  // Round-scoped buffers (kept as members to avoid per-round allocation).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> requests_;  // (link, ball)
+  std::vector<std::uint32_t> inbox_count_;                         // per server
+  std::vector<std::uint8_t> verdict_;                              // per server
+  std::uint64_t alive_balls_;
+  std::uint64_t work_ = 0;
+  std::uint32_t round_ = 0;
+  std::uint32_t max_rounds_;
+};
+
+/// Convenience wrapper mirroring run_protocol().
+[[nodiscard]] RunResult run_message_simulation(const BipartiteGraph& graph,
+                                               const ProtocolParams& params);
+
+}  // namespace saer

@@ -1,0 +1,56 @@
+#pragma once
+// Replicated-experiment driver: runs the protocol engine across independent
+// seeds on freshly sampled topologies and aggregates the observables every
+// figure reports (completion rounds, work per ball, max load, burned
+// servers, failure rate).
+
+#include <cstdint>
+#include <functional>
+
+#include "core/engine.hpp"
+#include "core/protocol.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "util/stats.hpp"
+
+namespace saer {
+
+/// Builds the topology for one replication.  Random generators should use
+/// the given seed so replications are independent; deterministic topologies
+/// (ring, grid) may ignore it.
+using GraphFactory = std::function<BipartiteGraph(std::uint64_t seed)>;
+
+struct ExperimentConfig {
+  ProtocolParams params;
+  std::uint32_t replications = 5;
+  std::uint64_t master_seed = 42;
+  /// Re-sample the topology per replication (true) or build once (false).
+  bool resample_graph = true;
+};
+
+struct Aggregate {
+  Accumulator rounds;          ///< completion rounds of completed runs
+  Accumulator work_per_ball;   ///< messages / (n*d)
+  Accumulator max_load;
+  Accumulator burned_fraction; ///< burned servers / n (SAER)
+  Accumulator decay_rate;      ///< mean alive_{t+1}/alive_t in the heavy stage
+  std::uint32_t completed = 0;
+  std::uint32_t failed = 0;    ///< hit the round cap
+
+  [[nodiscard]] double failure_rate() const {
+    const std::uint32_t total = completed + failed;
+    return total ? static_cast<double>(failed) / total : 0.0;
+  }
+};
+
+/// Runs `config.replications` independent replications.  Replication i uses
+/// protocol seed replication_seed(master_seed, 2i) and graph seed
+/// replication_seed(master_seed, 2i+1).
+[[nodiscard]] Aggregate run_replicated(const GraphFactory& factory,
+                                       const ExperimentConfig& config);
+
+/// Single run on a prebuilt graph with a derived seed (used by sweeps that
+/// need the full RunResult, e.g. the trace figures).
+[[nodiscard]] RunResult run_once(const BipartiteGraph& graph,
+                                 const ProtocolParams& params);
+
+}  // namespace saer

@@ -1,0 +1,36 @@
+#include "sim/figure.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace saer {
+
+FigureWriter::FigureWriter(std::string title, std::vector<std::string> columns,
+                           std::string csv_path)
+    : title_(std::move(title)), table_(columns) {
+  if (!csv_path.empty()) {
+    csv_ = std::make_unique<CsvWriter>(csv_path);
+    csv_->header(columns);
+  }
+}
+
+void FigureWriter::add_row(const std::vector<std::string>& cells) {
+  table_.add_row(cells);
+  if (csv_) csv_->row(cells);
+}
+
+void FigureWriter::finish() {
+  std::printf("\n%s\n%s", title_.c_str(), table_.render().c_str());
+  std::fflush(stdout);
+  csv_.reset();
+}
+
+std::string figure_preamble(const CliArgs& args, const std::string& figure_id,
+                            const std::string& description) {
+  std::printf("=== %s: %s ===\n", figure_id.c_str(), description.c_str());
+  std::fflush(stdout);
+  return args.get("csv", "");
+}
+
+}  // namespace saer

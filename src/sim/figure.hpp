@@ -1,0 +1,42 @@
+#pragma once
+// Figure output: every reproduction binary routes its series through
+// FigureWriter so the terminal shows an aligned table and `--csv <path>`
+// additionally produces a machine-readable file for offline plotting.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace saer {
+
+class FigureWriter {
+ public:
+  /// `title` is printed above the table; `csv_path` empty disables CSV.
+  FigureWriter(std::string title, std::vector<std::string> columns,
+               std::string csv_path = {});
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Prints the table to stdout (and flushes the CSV if enabled).
+  void finish();
+
+  [[nodiscard]] std::size_t rows() const noexcept { return table_.rows(); }
+
+ private:
+  std::string title_;
+  Table table_;
+  std::unique_ptr<CsvWriter> csv_;
+};
+
+/// Standard preamble for figure binaries: prints the experiment header and
+/// returns the CSV path from `--csv` (empty if absent).  Also rejects
+/// unknown flags with a readable error.
+[[nodiscard]] std::string figure_preamble(const CliArgs& args,
+                                          const std::string& figure_id,
+                                          const std::string& description);
+
+}  // namespace saer

@@ -1,0 +1,115 @@
+#include "sim/run_record.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace saer {
+
+RunRecord RunRecord::from_result(const ProtocolParams& params,
+                                 const RunResult& result) {
+  RunRecord rec;
+  rec.params = params;
+  rec.completed = result.completed;
+  rec.rounds = result.rounds;
+  rec.total_balls = result.total_balls;
+  rec.alive_balls = result.alive_balls;
+  rec.work_messages = result.work_messages;
+  rec.max_load = result.max_load;
+  rec.burned_servers = result.burned_servers;
+  rec.trace = result.trace;
+  return rec;
+}
+
+void write_run_record(std::ostream& os, const RunRecord& rec) {
+  os << "saer-run 1\n";
+  os << "protocol " << to_string(rec.params.protocol) << '\n';
+  os << "d " << rec.params.d << '\n';
+  os << "c " << rec.params.c << '\n';
+  os << "seed " << rec.params.seed << '\n';
+  os << "completed " << (rec.completed ? 1 : 0) << '\n';
+  os << "rounds " << rec.rounds << '\n';
+  os << "total_balls " << rec.total_balls << '\n';
+  os << "alive_balls " << rec.alive_balls << '\n';
+  os << "work_messages " << rec.work_messages << '\n';
+  os << "max_load " << rec.max_load << '\n';
+  os << "burned_servers " << rec.burned_servers << '\n';
+  os << "trace_rows " << rec.trace.size() << '\n';
+  for (const RoundStats& r : rec.trace) {
+    os << r.round << ' ' << r.alive_begin << ' ' << r.accepted << ' '
+       << r.burned_total << '\n';
+  }
+  if (!os) throw std::runtime_error("write_run_record: stream failure");
+}
+
+namespace {
+
+std::string expect_key(std::istream& is, const std::string& key) {
+  std::string line;
+  if (!std::getline(is, line))
+    throw std::runtime_error("read_run_record: unexpected end of input");
+  std::istringstream row(line);
+  std::string name, value;
+  row >> name;
+  std::getline(row, value);
+  if (name != key)
+    throw std::runtime_error("read_run_record: expected key '" + key +
+                             "', got '" + name + "'");
+  // Trim the single leading space left by getline after >>.
+  if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+  return value;
+}
+
+}  // namespace
+
+RunRecord read_run_record(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header) || header != "saer-run 1")
+    throw std::runtime_error("read_run_record: bad header");
+  RunRecord rec;
+  const std::string protocol = expect_key(is, "protocol");
+  if (protocol == "SAER") {
+    rec.params.protocol = Protocol::kSaer;
+  } else if (protocol == "RAES") {
+    rec.params.protocol = Protocol::kRaes;
+  } else {
+    throw std::runtime_error("read_run_record: unknown protocol " + protocol);
+  }
+  rec.params.d = static_cast<std::uint32_t>(std::stoul(expect_key(is, "d")));
+  rec.params.c = std::stod(expect_key(is, "c"));
+  rec.params.seed = std::stoull(expect_key(is, "seed"));
+  rec.completed = expect_key(is, "completed") == "1";
+  rec.rounds = static_cast<std::uint32_t>(std::stoul(expect_key(is, "rounds")));
+  rec.total_balls = std::stoull(expect_key(is, "total_balls"));
+  rec.alive_balls = std::stoull(expect_key(is, "alive_balls"));
+  rec.work_messages = std::stoull(expect_key(is, "work_messages"));
+  rec.max_load = std::stoull(expect_key(is, "max_load"));
+  rec.burned_servers = std::stoull(expect_key(is, "burned_servers"));
+  const auto rows = std::stoull(expect_key(is, "trace_rows"));
+  rec.trace.resize(rows);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    std::string line;
+    if (!std::getline(is, line))
+      throw std::runtime_error("read_run_record: truncated trace");
+    std::istringstream row(line);
+    RoundStats& r = rec.trace[i];
+    row >> r.round >> r.alive_begin >> r.accepted >> r.burned_total;
+    if (!row) throw std::runtime_error("read_run_record: bad trace row");
+    r.submitted = r.alive_begin;
+  }
+  return rec;
+}
+
+void save_run_record(const std::string& path, const RunRecord& record) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("save_run_record: cannot open " + path);
+  write_run_record(file, record);
+}
+
+RunRecord load_run_record(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("load_run_record: cannot open " + path);
+  return read_run_record(file);
+}
+
+}  // namespace saer

@@ -1,0 +1,58 @@
+#pragma once
+// Persistent run records: serializes (parameters, outcome, per-round trace)
+// of a protocol run into a line-oriented text format so experiment results
+// can be archived next to their CSVs and reloaded for later analysis
+// without re-simulation.
+//
+// Format (one key per line, `trace` rows after the header block):
+//
+//   saer-run 1
+//   protocol SAER
+//   d 2
+//   c 2.0
+//   seed 67890
+//   completed 1
+//   rounds 7
+//   total_balls 512
+//   alive_balls 0
+//   work_messages 1234
+//   max_load 4
+//   burned_servers 21
+//   trace_rows 7
+//   <round> <alive_begin> <accepted> <burned_total>
+//   ...
+//
+// The assignment and load vectors are intentionally not serialized (they
+// are O(n) and reproducible from the seed); records capture the observables
+// the figures report.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/protocol.hpp"
+
+namespace saer {
+
+struct RunRecord {
+  ProtocolParams params;
+  bool completed = false;
+  std::uint32_t rounds = 0;
+  std::uint64_t total_balls = 0;
+  std::uint64_t alive_balls = 0;
+  std::uint64_t work_messages = 0;
+  std::uint64_t max_load = 0;
+  std::uint64_t burned_servers = 0;
+  std::vector<RoundStats> trace;  ///< basic fields only
+
+  /// Captures the record of a finished run.
+  static RunRecord from_result(const ProtocolParams& params,
+                               const RunResult& result);
+};
+
+void write_run_record(std::ostream& os, const RunRecord& record);
+[[nodiscard]] RunRecord read_run_record(std::istream& is);
+
+void save_run_record(const std::string& path, const RunRecord& record);
+[[nodiscard]] RunRecord load_run_record(const std::string& path);
+
+}  // namespace saer

@@ -1,0 +1,126 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace saer {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+CliArgs::CliArgs(const std::vector<std::string>& args) { parse(args); }
+
+void CliArgs::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      value = args[++i];
+    } else {
+      value = "true";
+    }
+    values_[name] = value;
+  }
+}
+
+std::optional<std::string> CliArgs::raw(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool CliArgs::has(const std::string& name) const { return raw(name).has_value(); }
+
+std::string CliArgs::get(const std::string& name, const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+std::uint64_t CliArgs::get_uint(const std::string& name, std::uint64_t fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  const auto parsed = std::stoll(*v);
+  if (parsed < 0) throw std::invalid_argument("--" + name + " must be >= 0");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+namespace {
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+}  // namespace
+
+std::vector<std::uint64_t> CliArgs::get_uint_list(
+    const std::string& name, const std::vector<std::uint64_t>& fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  std::vector<std::uint64_t> out;
+  for (const auto& part : split_commas(*v)) {
+    if (!part.empty()) out.push_back(static_cast<std::uint64_t>(std::stoull(part)));
+  }
+  return out;
+}
+
+std::vector<double> CliArgs::get_double_list(
+    const std::string& name, const std::vector<double>& fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  std::vector<double> out;
+  for (const auto& part : split_commas(*v)) {
+    if (!part.empty()) out.push_back(std::stod(part));
+  }
+  return out;
+}
+
+std::vector<std::string> CliArgs::unknown_flags() const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, _] : values_) {
+    if (name.rfind("benchmark_", 0) == 0) continue;  // google-benchmark flags
+    if (!queried_.contains(name)) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace saer

@@ -1,0 +1,77 @@
+#include "util/csv.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace saer {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), to_file_(true) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+CsvWriter::CsvWriter() = default;
+
+CsvWriter::~CsvWriter() {
+  if (row_open_) end_row();
+}
+
+std::ostream& CsvWriter::out() {
+  if (to_file_) return file_;
+  return memory_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string quoted = "\"";
+  for (char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) { row(names); }
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+  if (row_open_) out() << ',';
+  out() << escape(value);
+  row_open_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  return cell(std::string(buf));
+}
+
+CsvWriter& CsvWriter::cell(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  return cell(std::string(buf));
+}
+
+CsvWriter& CsvWriter::cell(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  return cell(std::string(buf));
+}
+
+void CsvWriter::end_row() {
+  out() << '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) cell(c);
+  end_row();
+}
+
+std::string CsvWriter::str() const { return memory_.str(); }
+
+}  // namespace saer

@@ -1,0 +1,55 @@
+#pragma once
+// Minimal CSV emission (RFC 4180 quoting) used by the figure binaries to
+// dump the series they print, so plots can be regenerated offline.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace saer {
+
+class CsvWriter {
+ public:
+  /// Streams rows into `path`; throws std::runtime_error if it cannot open.
+  explicit CsvWriter(const std::string& path);
+  /// In-memory mode (tests, or when the caller wants the text).
+  CsvWriter();
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void header(const std::vector<std::string>& names);
+
+  /// Appends one cell to the current row.
+  CsvWriter& cell(const std::string& value);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(std::int64_t value);
+  CsvWriter& cell(std::uint64_t value);
+  CsvWriter& cell(int value) { return cell(static_cast<std::int64_t>(value)); }
+  CsvWriter& cell(unsigned value) { return cell(static_cast<std::uint64_t>(value)); }
+
+  /// Terminates the current row.
+  void end_row();
+
+  /// Convenience: writes a whole row of preformatted cells.
+  void row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+  /// In-memory contents (valid in in-memory mode only).
+  [[nodiscard]] std::string str() const;
+
+  /// RFC 4180 field escaping.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out();
+  std::ofstream file_;
+  std::ostringstream memory_;
+  bool to_file_ = false;
+  bool row_open_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace saer

@@ -1,0 +1,103 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace saer {
+
+void IntHistogram::ensure_range(std::int64_t value) {
+  if (counts_.empty()) {
+    offset_ = value;
+    counts_.assign(1, 0);
+    return;
+  }
+  if (value < offset_) {
+    const auto grow = static_cast<std::size_t>(offset_ - value);
+    counts_.insert(counts_.begin(), grow, 0);
+    offset_ = value;
+  } else {
+    const auto idx = static_cast<std::size_t>(value - offset_);
+    if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  }
+}
+
+void IntHistogram::add(std::int64_t value, std::uint64_t weight) {
+  if (weight == 0) return;
+  if (total_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ensure_range(value);
+  counts_[static_cast<std::size_t>(value - offset_)] += weight;
+  total_ += weight;
+}
+
+void IntHistogram::merge(const IntHistogram& other) {
+  for (const auto& [v, c] : other.items()) add(v, c);
+}
+
+std::uint64_t IntHistogram::count(std::int64_t value) const noexcept {
+  if (counts_.empty() || value < offset_) return 0;
+  const auto idx = static_cast<std::size_t>(value - offset_);
+  return idx < counts_.size() ? counts_[idx] : 0;
+}
+
+double IntHistogram::mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double s = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    s += static_cast<double>(counts_[i]) *
+         static_cast<double>(offset_ + static_cast<std::int64_t>(i));
+  return s / static_cast<double>(total_);
+}
+
+std::int64_t IntHistogram::quantile(double q) const {
+  if (total_ == 0) throw std::logic_error("IntHistogram::quantile on empty histogram");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile q outside [0,1]");
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1)) + 1;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target) return offset_ + static_cast<std::int64_t>(i);
+  }
+  return max_;
+}
+
+double IntHistogram::tail_fraction(std::int64_t threshold) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t tail = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (offset_ + static_cast<std::int64_t>(i) >= threshold) tail += counts_[i];
+  }
+  return static_cast<double>(tail) / static_cast<double>(total_);
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>> IntHistogram::items() const {
+  std::vector<std::pair<std::int64_t, std::uint64_t>> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0)
+      out.emplace_back(offset_ + static_cast<std::int64_t>(i), counts_[i]);
+  }
+  return out;
+}
+
+std::string IntHistogram::ascii(std::size_t width) const {
+  std::ostringstream os;
+  std::uint64_t peak = 0;
+  for (const auto& [v, c] : items()) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  for (const auto& [v, c] : items()) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(c) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os << v << "\t" << c << "\t" << std::string(std::max<std::size_t>(bar, 1), '#')
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace saer

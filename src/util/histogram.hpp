@@ -1,0 +1,44 @@
+#pragma once
+// Integer-valued histogram for load distributions: the max-load figures
+// report counts of servers per load value, so an exact integer histogram
+// (rather than binned doubles) is the natural structure.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace saer {
+
+class IntHistogram {
+ public:
+  void add(std::int64_t value, std::uint64_t weight = 1);
+  void merge(const IntHistogram& other);
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+  [[nodiscard]] std::int64_t min() const noexcept { return min_; }
+  [[nodiscard]] std::int64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t count(std::int64_t value) const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  /// Smallest value v such that P(X <= v) >= q.
+  [[nodiscard]] std::int64_t quantile(double q) const;
+  /// Fraction of mass at values >= threshold.
+  [[nodiscard]] double tail_fraction(std::int64_t threshold) const noexcept;
+
+  /// (value, count) pairs in increasing value order, zero-count gaps skipped.
+  [[nodiscard]] std::vector<std::pair<std::int64_t, std::uint64_t>> items() const;
+
+  /// Renders a fixed-width ASCII bar chart (for figure binaries).
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  void ensure_range(std::int64_t value);
+  std::vector<std::uint64_t> counts_;  // index 0 corresponds to offset_
+  std::int64_t offset_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace saer

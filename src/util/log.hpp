@@ -1,0 +1,22 @@
+#pragma once
+// Leveled stderr logging for the harness binaries. Intentionally minimal:
+// the simulation hot paths never log; this exists so long sweeps can show
+// progress without polluting the stdout tables/CSV.
+
+#include <string>
+
+namespace saer {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+void log_message(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log_message(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log_message(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log_message(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log_message(LogLevel::kError, m); }
+
+}  // namespace saer

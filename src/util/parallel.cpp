@@ -1,0 +1,28 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+
+namespace saer {
+
+namespace {
+std::atomic<int> g_threads{0};
+}
+
+int hardware_threads() noexcept {
+#if defined(SAER_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+void set_thread_count(int threads) noexcept {
+  g_threads.store(threads < 0 ? 0 : threads, std::memory_order_relaxed);
+}
+
+int configured_threads() noexcept {
+  const int t = g_threads.load(std::memory_order_relaxed);
+  return t > 0 ? t : hardware_threads();
+}
+
+}  // namespace saer

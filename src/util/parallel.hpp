@@ -1,0 +1,76 @@
+#pragma once
+// Thin OpenMP wrapper: the engines call parallel_for / parallel_reduce and
+// stay correct (serial) when OpenMP is unavailable.  Index-based chunking
+// keeps the protocol schedule-independent because all randomness is
+// counter-based (see util/rng.hpp).
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(SAER_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace saer {
+
+/// Number of worker threads the parallel loops will use.
+[[nodiscard]] int hardware_threads() noexcept;
+
+/// Overrides the thread count for subsequent parallel loops (0 = default).
+void set_thread_count(int threads) noexcept;
+[[nodiscard]] int configured_threads() noexcept;
+
+/// Applies body(i) for i in [begin, end) with static scheduling.
+template <class Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body) {
+#if defined(SAER_HAVE_OPENMP)
+  const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
+  const int threads = configured_threads();
+#pragma omp parallel for schedule(static) num_threads(threads)
+  for (std::int64_t i = 0; i < n; ++i) {
+    body(begin + static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) body(i);
+#endif
+}
+
+/// Sum-reduction over [begin, end): result is sum of body(i) as uint64.
+template <class Body>
+std::uint64_t parallel_reduce_sum(std::size_t begin, std::size_t end, Body&& body) {
+  std::uint64_t total = 0;
+#if defined(SAER_HAVE_OPENMP)
+  const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
+  const int threads = configured_threads();
+#pragma omp parallel for schedule(static) reduction(+ : total) num_threads(threads)
+  for (std::int64_t i = 0; i < n; ++i) {
+    total += body(begin + static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) total += body(i);
+#endif
+  return total;
+}
+
+/// Max-reduction over [begin, end) of body(i) as double.
+template <class Body>
+double parallel_reduce_max(std::size_t begin, std::size_t end, Body&& body) {
+  double best = 0.0;
+#if defined(SAER_HAVE_OPENMP)
+  const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
+  const int threads = configured_threads();
+#pragma omp parallel for schedule(static) reduction(max : best) num_threads(threads)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double v = body(begin + static_cast<std::size_t>(i));
+    if (v > best) best = v;
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) {
+    const double v = body(i);
+    if (v > best) best = v;
+  }
+#endif
+  return best;
+}
+
+}  // namespace saer

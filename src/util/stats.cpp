@@ -1,0 +1,244 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace saer {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::sem() const noexcept {
+  return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double quantile(std::span<const double> data, double q) {
+  if (data.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> data) {
+  Summary s;
+  if (data.empty()) return s;
+  Accumulator acc;
+  for (double x : data) acc.add(x);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.ci95 = acc.ci95();
+  s.p50 = quantile(data, 0.50);
+  s.p90 = quantile(data, 0.90);
+  s.p99 = quantile(data, 0.99);
+  return s;
+}
+
+namespace {
+
+LinearFit fit_xy(std::span<const double> x, std::span<const double> y) {
+  LinearFit f;
+  const std::size_t n = x.size();
+  if (n < 2 || y.size() != n) return f;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0) return f;
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  f.r2 = syy > 0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return f;
+}
+
+}  // namespace
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  return fit_xy(x, y);
+}
+
+LinearFit fit_log2(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) lx[i] = std::log2(x[i]);
+  return fit_xy(lx, y);
+}
+
+PowerFit fit_power(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) lx[i] = std::log(x[i]);
+  for (std::size_t i = 0; i < y.size(); ++i) ly[i] = std::log(y[i]);
+  const LinearFit f = fit_xy(lx, ly);
+  PowerFit p;
+  p.coefficient = std::exp(f.intercept);
+  p.exponent = f.slope;
+  p.r2 = f.r2;
+  return p;
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+  const std::size_t n = x.size();
+  if (n < 2 || y.size() != n) return 0.0;
+  Accumulator ax, ay;
+  for (double v : x) ax.add(v);
+  for (double v : y) ay.add(v);
+  if (ax.stddev() == 0.0 || ay.stddev() == 0.0) return 0.0;
+  double cov = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    cov += (x[i] - ax.mean()) * (y[i] - ay.mean());
+  cov /= static_cast<double>(n - 1);
+  return cov / (ax.stddev() * ay.stddev());
+}
+
+double chi_square_statistic(std::span<const double> observed,
+                            std::span<const double> expected) {
+  if (observed.size() != expected.size() || observed.empty())
+    throw std::invalid_argument("chi_square_statistic: size mismatch");
+  double stat = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    if (expected[i] <= 0)
+      throw std::invalid_argument("chi_square_statistic: expected must be > 0");
+    const double dev = observed[i] - expected[i];
+    stat += dev * dev / expected[i];
+  }
+  return stat;
+}
+
+namespace {
+
+/// Regularized lower incomplete gamma P(a, x) by series expansion (x < a+1).
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  for (int n = 1; n < 500; ++n) {
+    term *= x / (a + n);
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Regularized upper incomplete gamma Q(a, x) by continued fraction
+/// (x >= a+1), modified Lentz.
+double gamma_q_cf(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i < 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double chi_square_p_value(double statistic, std::size_t dof) {
+  if (dof == 0) throw std::invalid_argument("chi_square_p_value: dof == 0");
+  if (statistic <= 0) return 1.0;
+  const double a = static_cast<double>(dof) / 2.0;
+  const double x = statistic / 2.0;
+  const double q = x < a + 1.0 ? 1.0 - gamma_p_series(a, x) : gamma_q_cf(a, x);
+  return std::clamp(q, 0.0, 1.0);
+}
+
+double uniformity_p_value(std::span<const std::uint64_t> counts) {
+  if (counts.size() < 2)
+    throw std::invalid_argument("uniformity_p_value: need >= 2 buckets");
+  double total = 0;
+  for (const std::uint64_t c : counts) total += static_cast<double>(c);
+  if (total == 0) return 1.0;
+  std::vector<double> observed(counts.size()), expected(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    observed[i] = static_cast<double>(counts[i]);
+    expected[i] = total / static_cast<double>(counts.size());
+  }
+  return chi_square_p_value(chi_square_statistic(observed, expected),
+                            counts.size() - 1);
+}
+
+double binomial_upper_tail(std::size_t n, double p, std::size_t k) {
+  if (k == 0) return 1.0;
+  if (k > n || p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  // Work in log space: log pmf(0), then pmf(i+1)/pmf(i) = (n-i)/(i+1)*p/(1-p).
+  const double logq = std::log1p(-p);
+  const double ratio_base = std::log(p) - logq;
+  double log_pmf = static_cast<double>(n) * logq;  // pmf(0)
+  double tail = 0.0;
+  for (std::size_t i = 0; i <= n; ++i) {
+    if (i >= k) {
+      tail += std::exp(log_pmf);
+      if (log_pmf < -745.0 && i > k) break;  // underflow: remaining mass ~ 0
+    }
+    if (i < n) {
+      log_pmf += std::log(static_cast<double>(n - i)) -
+                 std::log(static_cast<double>(i + 1)) + ratio_base;
+    }
+  }
+  return std::min(tail, 1.0);
+}
+
+}  // namespace saer

@@ -1,0 +1,102 @@
+#pragma once
+// Streaming and batch statistics used by the experiment harness:
+// Welford accumulators, quantiles, confidence intervals, and simple
+// least-squares fits (linear, and linear-in-log-x for O(log n) trends).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace saer {
+
+/// Single-pass mean/variance accumulator (Welford) with min/max tracking.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  /// Half-width of an approximate 95% confidence interval for the mean
+  /// (normal approximation; adequate for the >= 5 replications we use).
+  [[nodiscard]] double ci95() const noexcept { return 1.96 * sem(); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical quantile with linear interpolation; `q` in [0,1].
+/// Copies and sorts the data; intended for end-of-run summaries.
+[[nodiscard]] double quantile(std::span<const double> data, double q);
+
+/// Convenience batch summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0, stddev = 0, min = 0, max = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+  double ci95 = 0;
+};
+[[nodiscard]] Summary summarize(std::span<const double> data);
+
+/// Ordinary least squares fit y = a + b*x.
+struct LinearFit {
+  double intercept = 0;  ///< a
+  double slope = 0;      ///< b
+  double r2 = 0;         ///< coefficient of determination
+};
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// Fits y = a + b*log2(x): the model for O(log n) completion-time trends.
+[[nodiscard]] LinearFit fit_log2(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Fits y = a * x^b via log-log regression (x,y > 0): used to estimate the
+/// work exponent (Theta(n) <=> b ~ 1).
+struct PowerFit {
+  double coefficient = 0;  ///< a
+  double exponent = 0;     ///< b
+  double r2 = 0;
+};
+[[nodiscard]] PowerFit fit_power(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+[[nodiscard]] double correlation(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Two-sided binomial tail bound check helper: returns the exact probability
+/// that Binomial(n, p) >= k, computed with a numerically-stable recurrence.
+/// Used by statistical tests on generator uniformity.
+[[nodiscard]] double binomial_upper_tail(std::size_t n, double p, std::size_t k);
+
+/// Pearson chi-square statistic of observed counts against expected counts
+/// (same length, expected > 0 everywhere).
+[[nodiscard]] double chi_square_statistic(std::span<const double> observed,
+                                          std::span<const double> expected);
+
+/// Upper-tail p-value of the chi-square distribution with `dof` degrees of
+/// freedom: P(X >= statistic).  Computed via the regularized upper
+/// incomplete gamma function Q(dof/2, x/2) (series + continued fraction).
+[[nodiscard]] double chi_square_p_value(double statistic, std::size_t dof);
+
+/// Goodness-of-fit p-value for uniform counts: observed bucket counts vs a
+/// uniform expectation.  Convenience used by the RNG/generator tests.
+[[nodiscard]] double uniformity_p_value(std::span<const std::uint64_t> counts);
+
+}  // namespace saer

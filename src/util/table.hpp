@@ -1,0 +1,31 @@
+#pragma once
+// Aligned ASCII table renderer: every figure/table binary prints its series
+// through this so the paper-style rows are readable in a terminal.
+
+#include <string>
+#include <vector>
+
+namespace saer {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Adds a row; missing trailing cells render empty, extras are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formatting helpers for numeric cells.
+  [[nodiscard]] static std::string num(double v, int precision = 3);
+  [[nodiscard]] static std::string num(std::uint64_t v);
+  [[nodiscard]] static std::string num(std::int64_t v);
+  [[nodiscard]] static std::string pct(double fraction, int precision = 1);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace saer

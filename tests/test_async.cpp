@@ -1,0 +1,120 @@
+// Tests for the asynchronous (event-driven) execution variant.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "net/async_simulator.hpp"
+
+namespace saer {
+namespace {
+
+AsyncParams base_async(std::uint32_t max_delay = 4) {
+  AsyncParams p;
+  p.base.d = 2;
+  p.base.c = 4.0;
+  p.base.seed = 99;
+  p.max_delay = max_delay;
+  return p;
+}
+
+TEST(Async, CompletesOnRegularGraph) {
+  const BipartiteGraph g = random_regular(256, 25, 3);
+  const AsyncResult res = run_async(g, base_async());
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.unassigned_balls, 0u);
+  EXPECT_EQ(res.total_balls, 512u);
+  EXPECT_GT(res.finish_time, 0u);
+}
+
+TEST(Async, LoadBoundNeverViolated) {
+  const BipartiteGraph g = random_regular(256, 25, 4);
+  for (double c : {1.5, 2.0, 8.0}) {
+    AsyncParams p = base_async();
+    p.base.c = c;
+    const AsyncResult res = run_async(g, p);
+    EXPECT_LE(res.max_load, p.base.capacity()) << "c=" << c;
+    std::uint64_t total = 0;
+    for (std::uint32_t load : res.loads) total += load;
+    EXPECT_EQ(total, res.total_balls - res.unassigned_balls);
+  }
+}
+
+TEST(Async, DeterministicForSeed) {
+  const BipartiteGraph g = random_regular(128, 16, 5);
+  const AsyncResult a = run_async(g, base_async());
+  const AsyncResult b = run_async(g, base_async());
+  EXPECT_EQ(a.finish_time, b.finish_time);
+  EXPECT_EQ(a.work_messages, b.work_messages);
+  EXPECT_EQ(a.loads, b.loads);
+}
+
+TEST(Async, SettleTimeScalesWithDelay) {
+  const BipartiteGraph g = random_regular(512, theorem_degree(512), 6);
+  const AsyncResult fast = run_async(g, base_async(1));
+  const AsyncResult slow = run_async(g, base_async(8));
+  ASSERT_TRUE(fast.completed);
+  ASSERT_TRUE(slow.completed);
+  EXPECT_GT(slow.settle_mean, 2.0 * fast.settle_mean);
+  EXPECT_LE(fast.settle_p99, slow.settle_p99);
+}
+
+TEST(Async, WorkStaysLinear) {
+  const BipartiteGraph g = random_regular(512, theorem_degree(512), 7);
+  AsyncParams p = base_async();
+  p.base.c = 2.0;
+  const AsyncResult res = run_async(g, p);
+  ASSERT_TRUE(res.completed);
+  // Requests + replies per ball should be a small constant, as in the
+  // synchronous analysis.
+  const double per_ball = static_cast<double>(res.work_messages) /
+                          static_cast<double>(res.total_balls);
+  EXPECT_LT(per_ball, 6.0);
+  EXPECT_GE(per_ball, 2.0);
+}
+
+TEST(Async, RaesModeNeverBurns) {
+  const BipartiteGraph g = random_regular(128, 16, 8);
+  AsyncParams p = base_async();
+  p.base.protocol = Protocol::kRaes;
+  p.base.c = 1.5;
+  const AsyncResult res = run_async(g, p);
+  EXPECT_EQ(res.burned_servers, 0u);
+  EXPECT_LE(res.max_load, p.base.capacity());
+}
+
+TEST(Async, InfeasibleInstanceTerminates) {
+  const BipartiteGraph g = complete_bipartite(4, 4);
+  AsyncParams p = base_async();
+  p.base.d = 2;
+  p.base.c = 0.5;  // capacity 1 for 8 balls
+  p.max_time = 500;
+  const AsyncResult res = run_async(g, p);
+  EXPECT_FALSE(res.completed);
+  EXPECT_GT(res.unassigned_balls, 0u);
+  EXPECT_LE(res.max_load, 1u);
+}
+
+TEST(Async, InvalidParamsRejected) {
+  const BipartiteGraph g = complete_bipartite(4, 4);
+  AsyncParams p = base_async(0);
+  EXPECT_THROW(run_async(g, p), std::invalid_argument);
+  const BipartiteGraph isolated = BipartiteGraph::from_edges(2, 2, {{0, 0}});
+  EXPECT_THROW(run_async(isolated, base_async()), std::invalid_argument);
+}
+
+TEST(Async, DelayOneApproximatesSynchronousRounds) {
+  // With max_delay = 1 every request-reply pair takes exactly 2 time units,
+  // so finish_time/2 plays the role of rounds: compare with the synchronous
+  // engine's round count at the same parameters (loose factor-2 check).
+  const BipartiteGraph g = random_regular(512, theorem_degree(512), 9);
+  AsyncParams p = base_async(1);
+  p.base.c = 2.0;
+  const AsyncResult res = run_async(g, p);
+  ASSERT_TRUE(res.completed);
+  const double pseudo_rounds = static_cast<double>(res.finish_time) / 2.0;
+  EXPECT_GE(pseudo_rounds, 1.0);
+  EXPECT_LE(pseudo_rounds, 40.0);
+}
+
+}  // namespace
+}  // namespace saer

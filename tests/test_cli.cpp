@@ -1,0 +1,116 @@
+// Tests for the saer CLI command layer.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "cli/commands.hpp"
+#include "graph/degree_stats.hpp"
+
+namespace saer {
+namespace {
+
+namespace fs = std::filesystem;
+
+CliArgs make_args(std::vector<std::string> args) { return CliArgs(args); }
+
+TEST(CliGraph, BuildsEachTopology) {
+  for (const std::string topology :
+       {"regular", "ring", "trust", "almost", "complete"}) {
+    const CliArgs args =
+        make_args({"--topology", topology, "--n", "256", "--delta", "16"});
+    const BipartiteGraph g = cli::build_graph(args);
+    EXPECT_EQ(g.num_clients(), 256u) << topology;
+    EXPECT_GT(g.num_edges(), 0u) << topology;
+  }
+}
+
+TEST(CliGraph, GridUsesSquareSide) {
+  const CliArgs args =
+      make_args({"--topology", "grid", "--n", "256", "--radius", "2"});
+  const BipartiteGraph g = cli::build_graph(args);
+  EXPECT_EQ(g.num_clients(), 256u);  // 16x16
+  EXPECT_EQ(g.client_degree(0), 25u);
+}
+
+TEST(CliGraph, UnknownTopologyThrows) {
+  EXPECT_THROW(cli::build_graph(make_args({"--topology", "moebius"})),
+               std::invalid_argument);
+}
+
+TEST(CliCommands, GenerateStatsRoundTrip) {
+  const auto path = fs::temp_directory_path() / "saer_cli_graph.txt";
+  const CliArgs gen = make_args({"--topology", "ring", "--n", "128",
+                                 "--delta", "8", "--out", path.string()});
+  EXPECT_EQ(cli::cmd_generate(gen), 0);
+  EXPECT_TRUE(fs::exists(path));
+
+  const CliArgs stats = make_args({"--graph", path.string()});
+  EXPECT_EQ(cli::cmd_stats(stats), 0);
+
+  const BipartiteGraph loaded = cli::resolve_graph(stats);
+  EXPECT_EQ(loaded.num_clients(), 128u);
+  EXPECT_EQ(loaded.client_degree(0), 8u);
+  fs::remove(path);
+}
+
+TEST(CliCommands, GenerateRequiresOut) {
+  EXPECT_EQ(cli::cmd_generate(make_args({"--topology", "ring", "--n", "64"})),
+            2);
+}
+
+TEST(CliCommands, RunCompletesAndReturnsZero) {
+  const CliArgs args = make_args(
+      {"--topology", "regular", "--n", "512", "--c", "4", "--d", "2"});
+  EXPECT_EQ(cli::cmd_run(args), 0);
+}
+
+TEST(CliCommands, RunRaesAndTrace) {
+  const CliArgs args =
+      make_args({"--topology", "ring", "--n", "256", "--protocol", "raes",
+                 "--c", "2", "--trace"});
+  EXPECT_EQ(cli::cmd_run(args), 0);
+}
+
+TEST(CliCommands, RunRejectsBadProtocol) {
+  const CliArgs args =
+      make_args({"--topology", "ring", "--n", "64", "--protocol", "magic"});
+  EXPECT_EQ(cli::cmd_run(args), 2);
+}
+
+TEST(CliCommands, RunReportsFailureExitCode) {
+  // Infeasible instance: capacity 1 per server for 2 balls per client.
+  const CliArgs args = make_args(
+      {"--topology", "complete", "--n", "8", "--d", "2", "--c", "0.5"});
+  EXPECT_EQ(cli::cmd_run(args), 1);
+}
+
+TEST(CliCommands, ExpanderRuns) {
+  const CliArgs args = make_args(
+      {"--topology", "regular", "--n", "512", "--d", "4", "--c", "3"});
+  EXPECT_EQ(cli::cmd_expander(args), 0);
+}
+
+TEST(CliDispatch, RoutesAndRejects) {
+  const char* ok[] = {"saer", "run", "--topology", "ring", "--n", "128",
+                      "--c", "4"};
+  EXPECT_EQ(cli::dispatch(8, ok), 0);
+  const char* bad[] = {"saer", "frobnicate"};
+  EXPECT_EQ(cli::dispatch(2, bad), 2);
+  const char* none[] = {"saer"};
+  EXPECT_EQ(cli::dispatch(1, none), 2);
+}
+
+TEST(CliDispatch, ExceptionsBecomeExitCode2) {
+  const char* bad[] = {"saer", "stats", "--graph", "/nonexistent/graph.txt"};
+  EXPECT_EQ(cli::dispatch(4, bad), 2);
+}
+
+TEST(CliUsage, MentionsAllCommands) {
+  const std::string text = cli::usage();
+  for (const std::string cmd : {"generate", "stats", "run", "expander"})
+    EXPECT_NE(text.find(cmd), std::string::npos) << cmd;
+}
+
+}  // namespace
+}  // namespace saer

@@ -1,0 +1,109 @@
+// Tests for the bipartite configuration-model generator.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/engine.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace saer {
+namespace {
+
+void expect_degrees(const BipartiteGraph& g,
+                    const std::vector<std::uint32_t>& client_degrees,
+                    const std::vector<std::uint32_t>& server_degrees) {
+  for (NodeId v = 0; v < g.num_clients(); ++v)
+    ASSERT_EQ(g.client_degree(v), client_degrees[v]) << "client " << v;
+  for (NodeId u = 0; u < g.num_servers(); ++u)
+    ASSERT_EQ(g.server_degree(u), server_degrees[u]) << "server " << u;
+}
+
+TEST(ConfigurationModel, ExactDegreeSequences) {
+  const std::vector<std::uint32_t> cd{3, 1, 2, 2};
+  const std::vector<std::uint32_t> sd{2, 2, 2, 2};
+  const BipartiteGraph g = configuration_model(cd, sd, 5);
+  g.validate();
+  expect_degrees(g, cd, sd);
+}
+
+TEST(ConfigurationModel, RegularSequencesMatchRandomRegularShape) {
+  const NodeId n = 128;
+  const std::uint32_t delta = 8;
+  const std::vector<std::uint32_t> deg(n, delta);
+  const BipartiteGraph g = configuration_model(deg, deg, 7);
+  g.validate();
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.client_min, delta);
+  EXPECT_EQ(s.client_max, delta);
+  EXPECT_EQ(s.server_min, delta);
+  EXPECT_EQ(s.server_max, delta);
+}
+
+TEST(ConfigurationModel, SkewedSequences) {
+  // Few heavy servers absorbing most edges.
+  const NodeId n = 64;
+  std::vector<std::uint32_t> cd(n, 4);
+  std::vector<std::uint32_t> sd(n, 0);
+  // 8 heavy servers with degree 24, the rest with degree ~1.
+  std::uint32_t remaining = 4 * n;
+  for (NodeId u = 0; u < 8; ++u) {
+    sd[u] = 24;
+    remaining -= 24;
+  }
+  for (NodeId u = 8; remaining > 0; u = (u + 1 - 8) % (n - 8) + 8) {
+    ++sd[u];
+    --remaining;
+  }
+  const BipartiteGraph g = configuration_model(cd, sd, 9);
+  g.validate();
+  expect_degrees(g, cd, sd);
+}
+
+TEST(ConfigurationModel, DeterministicPerSeed) {
+  const std::vector<std::uint32_t> deg(64, 6);
+  EXPECT_EQ(configuration_model(deg, deg, 1), configuration_model(deg, deg, 1));
+  EXPECT_NE(configuration_model(deg, deg, 1), configuration_model(deg, deg, 2));
+}
+
+TEST(ConfigurationModel, MismatchedSumsRejected) {
+  EXPECT_THROW(configuration_model({2, 2}, {1, 2}, 1), std::invalid_argument);
+}
+
+TEST(ConfigurationModel, ImpossibleDegreesRejected) {
+  // A client of degree 3 with only 2 servers can never be simple.
+  EXPECT_THROW(configuration_model({3, 1}, {2, 2}, 1), std::invalid_argument);
+}
+
+TEST(ConfigurationModel, ZeroDegreeNodesAllowed) {
+  const BipartiteGraph g = configuration_model({2, 0, 2}, {2, 2, 0}, 3);
+  g.validate();
+  EXPECT_EQ(g.client_degree(1), 0u);
+  EXPECT_EQ(g.server_degree(2), 0u);
+}
+
+TEST(ConfigurationModel, ProtocolRunsOnPrescribedProfile) {
+  // The paper's almost-regular condition as an explicit degree profile:
+  // clients at log^2 n, a few servers heavier.
+  const NodeId n = 256;
+  const std::uint32_t base = theorem_degree(n);  // 64
+  std::vector<std::uint32_t> cd(n, base);
+  std::vector<std::uint32_t> sd(n, base);
+  // Shift degree mass: 16 servers gain 32 each, spread the loss.
+  for (NodeId u = 0; u < 16; ++u) sd[u] += 32;
+  for (NodeId u = 16; u < 16 + 16 * 32; ++u) --sd[16 + (u % (n - 16))];
+  const BipartiteGraph g = configuration_model(cd, sd, 11);
+  g.validate();
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 4.0;
+  params.seed = 2;
+  const RunResult res = run_protocol(g, params);
+  EXPECT_TRUE(res.completed);
+  check_result(g, params, res);
+}
+
+}  // namespace
+}  // namespace saer

@@ -1,0 +1,97 @@
+// Tests for util/csv.hpp and util/table.hpp.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace saer {
+namespace {
+
+TEST(Csv, EscapePlainUnchanged) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape("12.5"), "12.5");
+}
+
+TEST(Csv, EscapeQuotesAndCommas) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, InMemoryRows) {
+  CsvWriter w;
+  w.header({"n", "rounds"});
+  w.cell(std::uint64_t{1024}).cell(12.5);
+  w.end_row();
+  EXPECT_EQ(w.str(), "n,rounds\n1024,12.5\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(Csv, NumericFormatting) {
+  CsvWriter w;
+  w.cell(std::int64_t{-3}).cell(0.1).cell(std::uint64_t{7});
+  w.end_row();
+  EXPECT_EQ(w.str(), "-3,0.1,7\n");
+}
+
+TEST(Csv, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "saer_csv_test.csv";
+  {
+    CsvWriter w(path.string());
+    w.header({"a", "b"});
+    w.row({"1", "x,y"});
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a,b\n1,\"x,y\"\n");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, OpenFailureThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zz/file.csv"), std::runtime_error);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+  // rule + header + rule + 2 rows + rule = 6 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.render());
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, WideRowRejected) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyColumnsRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::num(std::int64_t{-7}), "-7");
+  EXPECT_EQ(Table::pct(0.255, 1), "25.5%");
+}
+
+}  // namespace
+}  // namespace saer

@@ -1,0 +1,124 @@
+// Tests of the deep-trace quantities against the paper's structural
+// inequalities: S_t <= K_t (inequality (3)/(27)), monotonicity of K_t, and
+// the Lemma 4 bound S_t <= 1/2 under admissible parameters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/recurrences.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace saer {
+namespace {
+
+RunResult deep_run(const BipartiteGraph& g, double c, std::uint32_t d,
+                   Protocol p = Protocol::kSaer, std::uint64_t seed = 4321) {
+  ProtocolParams params;
+  params.protocol = p;
+  params.d = d;
+  params.c = c;
+  params.seed = seed;
+  params.deep_trace = true;
+  return run_protocol(g, params);
+}
+
+TEST(DeepTrace, StIsBoundedByKt) {
+  const BipartiteGraph g = random_regular(512, theorem_degree(512), 77);
+  const RunResult res = deep_run(g, 2.0, 2);  // small c so burning happens
+  for (const RoundStats& r : res.trace) {
+    EXPECT_LE(r.s_max, r.k_max + 1e-9) << "round " << r.round;
+    EXPECT_GE(r.s_max, 0.0);
+    EXPECT_LE(r.s_max, 1.0);
+  }
+}
+
+TEST(DeepTrace, KtIsNonDecreasing) {
+  const BipartiteGraph g = random_regular(512, theorem_degree(512), 78);
+  const RunResult res = deep_run(g, 4.0, 2);
+  double prev = 0.0;
+  for (const RoundStats& r : res.trace) {
+    EXPECT_GE(r.k_max, prev - 1e-12) << "round " << r.round;
+    prev = r.k_max;
+  }
+}
+
+TEST(DeepTrace, NeighborhoodMaxDominatesServerMax) {
+  const BipartiteGraph g = random_regular(256, theorem_degree(256), 79);
+  const RunResult res = deep_run(g, 8.0, 2);
+  for (const RoundStats& r : res.trace) {
+    EXPECT_GE(r.r_max_neighborhood, r.r_max_server);
+  }
+}
+
+TEST(DeepTrace, FirstRoundBoundLemma10) {
+  // Lemma 10: r_1 <= 2 d Delta w.h.p. on regular graphs.
+  const NodeId n = 1024;
+  const std::uint32_t delta = theorem_degree(n);
+  const BipartiteGraph g = random_regular(n, delta, 80);
+  const RunResult res = deep_run(g, 8.0, 2);
+  ASSERT_FALSE(res.trace.empty());
+  EXPECT_LE(res.trace.front().r_max_neighborhood,
+            2ULL * 2ULL * delta);  // 2 * d * Delta
+  // And K_1 <= 2/c (here c = 8): K_1 = r_1(N(v))/(c d Delta).
+  EXPECT_LE(res.trace.front().k_max, 2.0 / 8.0 + 1e-9);
+}
+
+TEST(DeepTrace, Lemma4BurnedFractionStaysBelowHalf) {
+  // Admissible parameters: on the theorem-scale graph with c = 32 the
+  // burned fraction in every neighborhood must stay <= 1/2 for the whole
+  // 3 ln n horizon (empirically c can be far smaller; the theorem constant
+  // is conservative, so this must pass easily).
+  const NodeId n = 2048;
+  const BipartiteGraph g = random_regular(n, theorem_degree(n), 81);
+  const RunResult res = deep_run(g, 32.0, 2);
+  ASSERT_TRUE(res.completed);
+  for (const RoundStats& r : res.trace) {
+    EXPECT_LE(r.s_max, 0.5) << "round " << r.round;
+  }
+  EXPECT_LE(res.rounds, analysis_horizon(n) + 5);
+}
+
+TEST(DeepTrace, SmallCapacitySaturatesNeighborhoods) {
+  // With c*d = 1 on a tight topology, burning is expected to cascade and
+  // neighborhoods can become fully burned (S_t -> 1): exercises the failure
+  // path of the analysis hypothesis.
+  const BipartiteGraph g = ring_proximity(128, 8);
+  ProtocolParams params;
+  params.protocol = Protocol::kSaer;
+  params.d = 4;
+  params.c = 0.25;  // capacity 1 per server << 4 balls per client
+  params.seed = 9;
+  params.deep_trace = true;
+  params.max_rounds = 80;
+  const RunResult res = run_protocol(g, params);
+  EXPECT_FALSE(res.completed);
+  ASSERT_FALSE(res.trace.empty());
+  EXPECT_GT(res.trace.back().s_max, 0.5);
+}
+
+TEST(DeepTrace, RaesTraceHasNoBurnedNeighborhoods) {
+  const BipartiteGraph g = random_regular(256, theorem_degree(256), 82);
+  const RunResult res = deep_run(g, 4.0, 2, Protocol::kRaes);
+  for (const RoundStats& r : res.trace) {
+    EXPECT_EQ(r.s_max, 0.0);
+    EXPECT_EQ(r.newly_burned, 0u);
+  }
+}
+
+TEST(DeepTrace, DisabledByDefault) {
+  const BipartiteGraph g = complete_bipartite(16, 16);
+  ProtocolParams params;
+  params.d = 1;
+  params.c = 8.0;
+  const RunResult res = run_protocol(g, params);
+  for (const RoundStats& r : res.trace) {
+    EXPECT_EQ(r.s_max, 0.0);
+    EXPECT_EQ(r.k_max, 0.0);
+    EXPECT_EQ(r.r_max_neighborhood, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace saer

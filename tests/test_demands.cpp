@@ -1,0 +1,115 @@
+// Tests for the heterogeneous-demand (general <= d) engine entry point.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace saer {
+namespace {
+
+ProtocolParams params_d(std::uint32_t d, double c = 8.0) {
+  ProtocolParams p;
+  p.d = d;
+  p.c = c;
+  p.seed = 77;
+  return p;
+}
+
+TEST(Demands, UniformDemandsMatchUniformEntryPoint) {
+  const BipartiteGraph g = random_regular(128, 16, 3);
+  const ProtocolParams params = params_d(2);
+  const std::vector<std::uint32_t> demands(g.num_clients(), 2);
+  const RunResult a = run_protocol(g, params);
+  const RunResult b = run_protocol_demands(g, params, demands);
+  // Identical ball->client map and counter-based randomness: bit-identical.
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.work_messages, b.work_messages);
+}
+
+TEST(Demands, TotalBallsIsSumOfDemands) {
+  const BipartiteGraph g = random_regular(64, 8, 4);
+  std::vector<std::uint32_t> demands(64);
+  for (NodeId v = 0; v < 64; ++v) demands[v] = v % 4;  // 0..3
+  const RunResult res = run_protocol_demands(g, params_d(3), demands);
+  const std::uint64_t expected =
+      std::accumulate(demands.begin(), demands.end(), std::uint64_t{0});
+  EXPECT_EQ(res.total_balls, expected);
+  EXPECT_TRUE(res.completed);
+  check_result_demands(g, params_d(3), demands, res);
+}
+
+TEST(Demands, ZeroDemandClientsAreSkipped) {
+  const BipartiteGraph g = random_regular(32, 4, 5);
+  std::vector<std::uint32_t> demands(32, 0);
+  demands[7] = 2;
+  const RunResult res = run_protocol_demands(g, params_d(2), demands);
+  EXPECT_EQ(res.total_balls, 2u);
+  EXPECT_TRUE(res.completed);
+  // Both assigned balls belong to client 7.
+  for (const NodeId u : res.assignment) EXPECT_TRUE(g.has_edge(7, u));
+}
+
+TEST(Demands, AllZeroDemandsCompletesInstantly) {
+  const BipartiteGraph g = random_regular(16, 4, 6);
+  const std::vector<std::uint32_t> demands(16, 0);
+  const RunResult res = run_protocol_demands(g, params_d(1), demands);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.rounds, 0u);
+  EXPECT_EQ(res.work_messages, 0u);
+}
+
+TEST(Demands, DemandAboveDRejected) {
+  const BipartiteGraph g = random_regular(16, 4, 6);
+  std::vector<std::uint32_t> demands(16, 1);
+  demands[0] = 3;
+  EXPECT_THROW(run_protocol_demands(g, params_d(2), demands),
+               std::invalid_argument);
+}
+
+TEST(Demands, SizeMismatchRejected) {
+  const BipartiteGraph g = random_regular(16, 4, 6);
+  const std::vector<std::uint32_t> demands(15, 1);
+  EXPECT_THROW(run_protocol_demands(g, params_d(1), demands),
+               std::invalid_argument);
+}
+
+TEST(Demands, IsolatedClientOnlyRejectedIfDemanding) {
+  const BipartiteGraph g =
+      BipartiteGraph::from_edges(2, 2, {{0, 0}, {0, 1}});
+  std::vector<std::uint32_t> demands{1, 0};  // isolated client 1 demands 0
+  EXPECT_NO_THROW((void)run_protocol_demands(g, params_d(1), demands));
+  demands[1] = 1;
+  EXPECT_THROW((void)run_protocol_demands(g, params_d(1), demands),
+               std::invalid_argument);
+}
+
+TEST(Demands, CapacityBoundHoldsUnderSkew) {
+  // A few very heavy clients (demand d) among light ones.
+  const BipartiteGraph g = random_regular(256, 25, 7);
+  ProtocolParams params = params_d(8, 1.5);  // cap = 12
+  std::vector<std::uint32_t> demands(256, 1);
+  for (NodeId v = 0; v < 16; ++v) demands[v] = 8;
+  const RunResult res = run_protocol_demands(g, params, demands);
+  EXPECT_LE(res.max_load, params.capacity());
+  check_result_demands(g, params, demands, res);
+}
+
+TEST(Demands, LighterLoadCompletesAtLeastAsFast) {
+  const BipartiteGraph g = random_regular(512, theorem_degree(512), 8);
+  ProtocolParams params = params_d(4, 2.0);
+  const std::vector<std::uint32_t> full(512, 4);
+  std::vector<std::uint32_t> half(512);
+  for (NodeId v = 0; v < 512; ++v) half[v] = v % 2 ? 4 : 0;
+  const RunResult res_full = run_protocol_demands(g, params, full);
+  const RunResult res_half = run_protocol_demands(g, params, half);
+  ASSERT_TRUE(res_full.completed);
+  ASSERT_TRUE(res_half.completed);
+  EXPECT_LE(res_half.rounds, res_full.rounds + 1);
+}
+
+}  // namespace
+}  // namespace saer

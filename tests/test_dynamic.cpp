@@ -1,0 +1,125 @@
+// Tests for the dynamic (online arrivals + churn) extension.
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic.hpp"
+#include "graph/generators.hpp"
+
+namespace saer {
+namespace {
+
+DynamicParams base_dynamic() {
+  DynamicParams p;
+  p.base.d = 2;
+  p.base.c = 8.0;
+  p.base.seed = 123;
+  return p;
+}
+
+TEST(Dynamic, AllAtOnceMatchesStaticBehaviour) {
+  const BipartiteGraph g = random_regular(128, 16, 4);
+  DynamicParams p = base_dynamic();
+  p.arrivals_per_round = 0;  // everyone in round 1
+  const DynamicResult res = run_dynamic(g, p);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.unassigned_balls, 0u);
+  EXPECT_LE(res.max_load, p.base.capacity());
+  EXPECT_EQ(res.total_balls, 256u);
+  EXPECT_EQ(res.failed_servers, 0u);
+}
+
+TEST(Dynamic, StaggeredArrivalsComplete) {
+  const BipartiteGraph g = random_regular(128, 16, 5);
+  DynamicParams p = base_dynamic();
+  p.arrivals_per_round = 8;  // 16 cohorts
+  const DynamicResult res = run_dynamic(g, p);
+  EXPECT_TRUE(res.completed);
+  EXPECT_GE(res.rounds, 16u);  // at least one round per cohort
+  EXPECT_LE(res.max_load, p.base.capacity());
+}
+
+TEST(Dynamic, LatencyStatisticsSane) {
+  const BipartiteGraph g = random_regular(256, 25, 6);
+  DynamicParams p = base_dynamic();
+  p.arrivals_per_round = 16;
+  const DynamicResult res = run_dynamic(g, p);
+  ASSERT_TRUE(res.completed);
+  EXPECT_GE(res.latency_mean, 1.0);
+  EXPECT_LE(res.latency_p50, res.latency_p99);
+  EXPECT_LE(res.latency_p99, res.latency_max);
+  EXPECT_LE(res.latency_max, res.rounds);
+}
+
+TEST(Dynamic, BacklogStaysBoundedUnderStaggering) {
+  const BipartiteGraph g = random_regular(512, theorem_degree(512), 7);
+  DynamicParams p = base_dynamic();
+  p.arrivals_per_round = 16;
+  const DynamicResult res = run_dynamic(g, p);
+  ASSERT_TRUE(res.completed);
+  // Metastability: the backlog should stay well below the all-at-once
+  // total (2*512 balls) because cohorts drain continuously.
+  std::uint64_t peak = 0;
+  for (std::uint64_t b : res.backlog_series) peak = std::max(peak, b);
+  EXPECT_LT(peak, res.total_balls / 2);
+}
+
+TEST(Dynamic, MaxLoadSeriesMonotone) {
+  const BipartiteGraph g = random_regular(128, 16, 8);
+  DynamicParams p = base_dynamic();
+  p.arrivals_per_round = 8;
+  const DynamicResult res = run_dynamic(g, p);
+  std::uint64_t prev = 0;
+  for (std::uint64_t v : res.max_load_series) {
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_EQ(prev, res.max_load);
+}
+
+TEST(Dynamic, ServerFailuresAreTolerated) {
+  const BipartiteGraph g = random_regular(256, theorem_degree(256), 9);
+  DynamicParams p = base_dynamic();
+  p.arrivals_per_round = 16;
+  p.server_failure_rate = 0.002;
+  const DynamicResult res = run_dynamic(g, p);
+  EXPECT_GT(res.failed_servers, 0u);
+  EXPECT_TRUE(res.completed);  // plenty of redundancy at this degree
+  EXPECT_LE(res.max_load, p.base.capacity());
+}
+
+TEST(Dynamic, MassiveFailureRateCausesLoss) {
+  const BipartiteGraph g = ring_proximity(64, 8);
+  DynamicParams p = base_dynamic();
+  p.arrivals_per_round = 4;
+  p.server_failure_rate = 0.5;
+  p.drain_rounds = 60;
+  const DynamicResult res = run_dynamic(g, p);
+  EXPECT_FALSE(res.completed);
+  EXPECT_GT(res.unassigned_balls, 0u);
+  EXPECT_GT(res.failed_servers, 32u);
+}
+
+TEST(Dynamic, InvalidFailureRateRejected) {
+  const BipartiteGraph g = complete_bipartite(4, 4);
+  DynamicParams p = base_dynamic();
+  p.server_failure_rate = 1.0;
+  EXPECT_THROW(run_dynamic(g, p), std::invalid_argument);
+  p.server_failure_rate = -0.1;
+  EXPECT_THROW(run_dynamic(g, p), std::invalid_argument);
+}
+
+TEST(Dynamic, DeterministicForSeed) {
+  const BipartiteGraph g = random_regular(128, 16, 10);
+  DynamicParams p = base_dynamic();
+  p.arrivals_per_round = 8;
+  p.server_failure_rate = 0.01;
+  const DynamicResult a = run_dynamic(g, p);
+  const DynamicResult b = run_dynamic(g, p);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.max_load, b.max_load);
+  EXPECT_EQ(a.failed_servers, b.failed_servers);
+  EXPECT_EQ(a.backlog_series, b.backlog_series);
+}
+
+}  // namespace
+}  // namespace saer

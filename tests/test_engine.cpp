@@ -1,0 +1,236 @@
+// Unit tests for the vectorized SAER/RAES engine.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/metrics.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+#include "util/parallel.hpp"
+
+namespace saer {
+namespace {
+
+ProtocolParams base_params(Protocol p = Protocol::kSaer) {
+  ProtocolParams params;
+  params.protocol = p;
+  params.d = 2;
+  params.c = 8.0;
+  params.seed = 12345;
+  return params;
+}
+
+TEST(ProtocolParams, CapacityRounding) {
+  ProtocolParams p;
+  p.d = 2;
+  p.c = 8.0;
+  EXPECT_EQ(p.capacity(), 16u);
+  p.c = 0.4;
+  EXPECT_EQ(p.capacity(), 1u);  // clamped to 1
+  p.c = 2.6;
+  EXPECT_EQ(p.capacity(), 5u);  // round(5.2)
+}
+
+TEST(ProtocolParams, ValidationRejectsBadValues) {
+  ProtocolParams p;
+  p.d = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.d = 1;
+  p.c = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.c = -3.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Engine, CompletesOnCompleteGraph) {
+  const BipartiteGraph g = testing::tiny_complete(16);
+  const RunResult res = run_protocol(g, base_params());
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.alive_balls, 0u);
+  EXPECT_EQ(res.total_balls, 32u);
+  EXPECT_GT(res.rounds, 0u);
+  check_result(g, base_params(), res);
+}
+
+TEST(Engine, SingleClientSingleServer) {
+  const BipartiteGraph g = complete_bipartite(1, 1);
+  ProtocolParams params = base_params();
+  params.d = 1;
+  const RunResult res = run_protocol(g, params);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.rounds, 1u);
+  EXPECT_EQ(res.max_load, 1u);
+  EXPECT_EQ(res.assignment[0], 0u);
+  EXPECT_EQ(res.work_messages, 2u);
+}
+
+TEST(Engine, MaxLoadNeverExceedsCapacity) {
+  const BipartiteGraph g = random_regular(256, 16, 7);
+  for (double c : {1.0, 2.0, 4.0, 16.0}) {
+    ProtocolParams params = base_params();
+    params.c = c;
+    const RunResult res = run_protocol(g, params);
+    EXPECT_LE(res.max_load, params.capacity()) << "c=" << c;
+    check_result(g, params, res);
+  }
+}
+
+TEST(Engine, DeterministicForSeed) {
+  const BipartiteGraph g = random_regular(128, 16, 3);
+  const ProtocolParams params = base_params();
+  const RunResult a = run_protocol(g, params);
+  const RunResult b = run_protocol(g, params);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.work_messages, b.work_messages);
+}
+
+TEST(Engine, SeedChangesOutcome) {
+  const BipartiteGraph g = random_regular(128, 16, 3);
+  ProtocolParams pa = base_params(), pb = base_params();
+  pb.seed = pa.seed + 1;
+  const RunResult a = run_protocol(g, pa);
+  const RunResult b = run_protocol(g, pb);
+  EXPECT_NE(a.assignment, b.assignment);
+}
+
+TEST(Engine, ScheduleIndependentAcrossThreadCounts) {
+  const BipartiteGraph g = random_regular(128, 16, 9);
+  const ProtocolParams params = base_params();
+  set_thread_count(1);
+  const RunResult serial = run_protocol(g, params);
+  set_thread_count(4);
+  const RunResult parallel = run_protocol(g, params);
+  set_thread_count(0);
+  EXPECT_EQ(serial.assignment, parallel.assignment);
+  EXPECT_EQ(serial.rounds, parallel.rounds);
+  EXPECT_EQ(serial.loads, parallel.loads);
+}
+
+TEST(Engine, ImpossibleInstanceReportsFailure) {
+  // Total capacity n*cap = 4 < total balls 8: must not complete, must not
+  // loop forever, and must never exceed capacity.
+  const BipartiteGraph g = testing::tiny_complete(4);
+  ProtocolParams params = base_params();
+  params.d = 2;
+  params.c = 0.5;  // capacity 1 per server
+  params.max_rounds = 60;
+  const RunResult res = run_protocol(g, params);
+  EXPECT_FALSE(res.completed);
+  EXPECT_GT(res.alive_balls, 0u);
+  EXPECT_LE(res.max_load, params.capacity());
+  check_result(g, params, res);
+}
+
+TEST(Engine, IsolatedClientRejected) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, {{0, 0}});
+  EXPECT_THROW(run_protocol(g, base_params()), std::invalid_argument);
+}
+
+TEST(Engine, TraceAccountingConsistent) {
+  const BipartiteGraph g = random_regular(256, 25, 21);
+  const ProtocolParams params = base_params();
+  const RunResult res = run_protocol(g, params);
+  ASSERT_TRUE(res.completed);
+  ASSERT_EQ(res.trace.size(), res.rounds);
+  std::uint64_t accepted_sum = 0;
+  std::uint64_t prev_alive = res.total_balls;
+  std::uint64_t prev_burned = 0;
+  for (const RoundStats& r : res.trace) {
+    EXPECT_EQ(r.alive_begin, prev_alive);
+    EXPECT_EQ(r.submitted, r.alive_begin);
+    EXPECT_LE(r.accepted, r.submitted);
+    EXPECT_GE(r.burned_total, prev_burned);  // burning is monotone
+    EXPECT_LE(r.r_max_server, r.submitted);
+    accepted_sum += r.accepted;
+    prev_alive = r.alive_begin - r.accepted;
+    prev_burned = r.burned_total;
+  }
+  EXPECT_EQ(accepted_sum, res.total_balls);
+  EXPECT_EQ(prev_alive, 0u);
+}
+
+TEST(Engine, RaesNeverBurnsServers) {
+  const BipartiteGraph g = random_regular(128, 16, 5);
+  ProtocolParams params = base_params(Protocol::kRaes);
+  params.c = 1.0;  // tight capacity: saturations will happen
+  const RunResult res = run_protocol(g, params);
+  EXPECT_EQ(res.burned_servers, 0u);
+  check_result(g, params, res);
+}
+
+TEST(Engine, RaesCompletesWhereSaerDoes) {
+  const BipartiteGraph g = random_regular(256, 25, 31);
+  const RunResult saer = run_protocol(g, base_params(Protocol::kSaer));
+  const RunResult raes = run_protocol(g, base_params(Protocol::kRaes));
+  ASSERT_TRUE(saer.completed);
+  EXPECT_TRUE(raes.completed);
+  // Corollary 2 (domination): RAES should not be slower on average; allow
+  // equality plus a small slack for a single instance.
+  EXPECT_LE(raes.rounds, saer.rounds + 2);
+}
+
+TEST(Engine, RecordTraceCanBeDisabled) {
+  const BipartiteGraph g = testing::tiny_complete(8);
+  ProtocolParams params = base_params();
+  params.record_trace = false;
+  const RunResult res = run_protocol(g, params);
+  EXPECT_TRUE(res.trace.empty());
+  EXPECT_TRUE(res.completed);
+}
+
+TEST(Engine, TightCapacityBurnsServersUnderSaer) {
+  const BipartiteGraph g = testing::tiny_complete(32);
+  ProtocolParams params = base_params(Protocol::kSaer);
+  params.d = 4;
+  params.c = 1.0;  // capacity = d: heavy contention
+  const RunResult res = run_protocol(g, params);
+  EXPECT_GT(res.burned_servers, 0u);
+  EXPECT_LE(res.max_load, params.capacity());
+}
+
+TEST(Engine, AssignmentTargetsAreNeighbors) {
+  const BipartiteGraph g = ring_proximity(64, 8);
+  const ProtocolParams params = base_params();
+  const RunResult res = run_protocol(g, params);
+  ASSERT_TRUE(res.completed);
+  for (BallId b = 0; b < res.total_balls; ++b) {
+    const auto v = static_cast<NodeId>(b / params.d);
+    ASSERT_TRUE(g.has_edge(v, res.assignment[b]));
+  }
+}
+
+TEST(Metrics, LoadHistogramMatchesLoads) {
+  const BipartiteGraph g = testing::tiny_complete(16);
+  const ProtocolParams params = base_params();
+  const RunResult res = run_protocol(g, params);
+  const IntHistogram h = load_histogram(res.loads);
+  EXPECT_EQ(h.total(), g.num_servers());
+  std::uint64_t weighted = 0;
+  for (const auto& [load, count] : h.items())
+    weighted += static_cast<std::uint64_t>(load) * count;
+  EXPECT_EQ(weighted, res.total_balls);
+}
+
+TEST(Metrics, SummarizeLoadsFields) {
+  const std::vector<std::uint32_t> loads{0, 0, 2, 4, 4};
+  const LoadSummary s = summarize_loads(loads, 4);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.at_capacity_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(s.empty_fraction, 0.4);
+}
+
+TEST(Metrics, AliveDecayRate) {
+  std::vector<RoundStats> trace(2);
+  trace[0].alive_begin = 100;
+  trace[0].accepted = 50;
+  trace[1].alive_begin = 50;
+  trace[1].accepted = 40;
+  // Rates: 0.5 and 0.2; with min_alive 60 only the first round counts.
+  EXPECT_DOUBLE_EQ(alive_decay_rate(trace, 0), 0.35);
+  EXPECT_DOUBLE_EQ(alive_decay_rate(trace, 60), 0.5);
+}
+
+}  // namespace
+}  // namespace saer

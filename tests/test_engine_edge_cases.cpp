@@ -1,0 +1,137 @@
+// Edge-case coverage for the engine: rectangular systems, extreme
+// parameters, degenerate topologies, and the shared-blocks adversarial
+// generator.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "graph/degree_stats.hpp"
+#include "graph/generators.hpp"
+
+namespace saer {
+namespace {
+
+ProtocolParams make_params(std::uint32_t d, double c, std::uint64_t seed = 5) {
+  ProtocolParams p;
+  p.d = d;
+  p.c = c;
+  p.seed = seed;
+  return p;
+}
+
+TEST(EngineEdge, MoreServersThanClients) {
+  const BipartiteGraph g = complete_bipartite(16, 64);
+  const RunResult res = run_protocol(g, make_params(2, 4.0));
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.loads.size(), 64u);
+  check_result(g, make_params(2, 4.0), res);
+}
+
+TEST(EngineEdge, MoreClientsThanServers) {
+  // 64 clients * 2 balls = 128 balls on 16 servers: needs cap >= 8.
+  const BipartiteGraph g = complete_bipartite(64, 16);
+  const RunResult res = run_protocol(g, make_params(2, 8.0));
+  EXPECT_TRUE(res.completed);
+  EXPECT_LE(res.max_load, 16u);
+  check_result(g, make_params(2, 8.0), res);
+}
+
+TEST(EngineEdge, SingleServerBottleneck) {
+  const BipartiteGraph g = complete_bipartite(8, 1);
+  ProtocolParams params = make_params(1, 8.0);  // cap 8 = total demand
+  const RunResult res = run_protocol(g, params);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.max_load, 8u);
+  EXPECT_EQ(res.rounds, 1u);
+}
+
+TEST(EngineEdge, SingleServerOverloadedFails) {
+  const BipartiteGraph g = complete_bipartite(8, 1);
+  ProtocolParams params = make_params(1, 7.0 / 1.0);  // cap 7 < 8 balls
+  params.max_rounds = 30;
+  const RunResult res = run_protocol(g, params);
+  EXPECT_FALSE(res.completed);
+  EXPECT_LE(res.max_load, params.capacity());
+}
+
+TEST(EngineEdge, EmptyClientSetCompletesTrivially) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(0, 4, {});
+  const RunResult res = run_protocol(g, make_params(2, 2.0));
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.rounds, 0u);
+  EXPECT_EQ(res.total_balls, 0u);
+  EXPECT_EQ(res.work_messages, 0u);
+}
+
+TEST(EngineEdge, VeryLargeCapacityFinishesInOneRound) {
+  const BipartiteGraph g = random_regular(512, 64, 2);
+  const RunResult res = run_protocol(g, make_params(2, 1e6));
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.rounds, 1u);
+  EXPECT_EQ(res.work_per_ball(), 2.0);
+}
+
+TEST(EngineEdge, LargeRequestNumber) {
+  const BipartiteGraph g = random_regular(128, 32, 3);
+  const RunResult res = run_protocol(g, make_params(32, 4.0));
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.total_balls, 128u * 32u);
+  check_result(g, make_params(32, 4.0), res);
+}
+
+TEST(EngineEdge, MaxRoundsOneStopsEarly) {
+  const BipartiteGraph g = ring_proximity(64, 4);
+  ProtocolParams params = make_params(4, 1.0);  // heavy contention
+  params.max_rounds = 1;
+  const RunResult res = run_protocol(g, params);
+  EXPECT_EQ(res.rounds, 1u);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.trace.size(), 1u);
+}
+
+TEST(SharedBlocks, StructureIsBlockDiagonal) {
+  const BipartiteGraph g = shared_blocks(32, 8);
+  g.validate();
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.client_min, 8u);
+  EXPECT_EQ(s.client_max, 8u);
+  EXPECT_EQ(s.server_min, 8u);
+  EXPECT_EQ(s.server_max, 8u);
+  // Clients 0..7 share servers 0..7, never 8+.
+  for (NodeId v = 0; v < 8; ++v) {
+    for (NodeId u : g.client_neighbors(v)) EXPECT_LT(u, 8u);
+  }
+  EXPECT_TRUE(g.has_edge(8, 8));
+  EXPECT_FALSE(g.has_edge(8, 7));
+}
+
+TEST(SharedBlocks, InvalidParamsThrow) {
+  EXPECT_THROW(shared_blocks(10, 3), std::invalid_argument);   // 3 does not divide 10
+  EXPECT_THROW(shared_blocks(10, 0), std::invalid_argument);
+  EXPECT_THROW(shared_blocks(10, 11), std::invalid_argument);
+}
+
+TEST(SharedBlocks, ProtocolCompletesDespiteMaximalDependence) {
+  // Each block is a closed delta-vs-delta subsystem; with c*d comfortably
+  // above d the protocol must still finish quickly.
+  const NodeId n = 4096;
+  std::uint32_t delta = theorem_degree(n);
+  while (n % delta != 0) ++delta;
+  const BipartiteGraph g = shared_blocks(n, delta);
+  const RunResult res = run_protocol(g, make_params(2, 4.0));
+  EXPECT_TRUE(res.completed);
+  EXPECT_LE(res.max_load, make_params(2, 4.0).capacity());
+  check_result(g, make_params(2, 4.0), res);
+}
+
+TEST(SharedBlocks, TightCapacityStressesBlocks) {
+  const BipartiteGraph g = shared_blocks(1024, 16);
+  ProtocolParams params = make_params(2, 1.25, 9);  // cap 3 vs mean load 2
+  const RunResult res = run_protocol(g, params);
+  // Whether or not it completes, invariants must hold.
+  EXPECT_LE(res.max_load, params.capacity());
+  check_result(g, params, res);
+}
+
+}  // namespace
+}  // namespace saer

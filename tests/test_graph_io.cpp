@@ -1,0 +1,69 @@
+// Tests for graph/graph_io.hpp.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/graph_io.hpp"
+
+namespace saer {
+namespace {
+
+TEST(GraphIo, StreamRoundTrip) {
+  const BipartiteGraph g = ring_proximity(12, 4);
+  std::stringstream buffer;
+  write_graph(buffer, g);
+  const BipartiteGraph g2 = read_graph(buffer);
+  EXPECT_EQ(g, g2);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  const BipartiteGraph g = random_regular(32, 4, 5);
+  const auto path = std::filesystem::temp_directory_path() / "saer_graph_test.txt";
+  save_graph(path.string(), g);
+  const BipartiteGraph g2 = load_graph(path.string());
+  EXPECT_EQ(g, g2);
+  std::filesystem::remove(path);
+}
+
+TEST(GraphIo, CommentsSkipped) {
+  std::stringstream in(
+      "# a comment\nsaer-bipartite 1\n# another\n2 2 2\n0 0\n# mid\n1 1\n");
+  const BipartiteGraph g = read_graph(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(1, 1));
+}
+
+TEST(GraphIo, BadHeaderRejected) {
+  std::stringstream in("wrong-magic 1\n1 1 0\n");
+  EXPECT_THROW(read_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, BadVersionRejected) {
+  std::stringstream in("saer-bipartite 99\n1 1 0\n");
+  EXPECT_THROW(read_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, TruncatedEdgesRejected) {
+  std::stringstream in("saer-bipartite 1\n2 2 3\n0 0\n");
+  EXPECT_THROW(read_graph(in), std::runtime_error);
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(load_graph("/nonexistent/saer.txt"), std::runtime_error);
+}
+
+TEST(GraphIo, EmptyGraphRoundTrip) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(3, 3, {});
+  std::stringstream buffer;
+  write_graph(buffer, g);
+  const BipartiteGraph g2 = read_graph(buffer);
+  EXPECT_EQ(g, g2);
+  EXPECT_EQ(g2.num_clients(), 3u);
+}
+
+}  // namespace
+}  // namespace saer

@@ -1,0 +1,108 @@
+// Tests for util/histogram.hpp.
+
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+
+namespace saer {
+namespace {
+
+TEST(IntHistogram, EmptyState) {
+  IntHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(5), 0u);
+  EXPECT_EQ(h.tail_fraction(0), 0.0);
+  EXPECT_THROW(h.quantile(0.5), std::logic_error);
+}
+
+TEST(IntHistogram, CountsAndRange) {
+  IntHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(-1);
+  h.add(10, 4);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.min(), -1);
+  EXPECT_EQ(h.max(), 10);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(-1), 1u);
+  EXPECT_EQ(h.count(10), 4u);
+  EXPECT_EQ(h.count(5), 0u);
+}
+
+TEST(IntHistogram, ZeroWeightIgnored) {
+  IntHistogram h;
+  h.add(1, 0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IntHistogram, MeanWeighted) {
+  IntHistogram h;
+  h.add(0, 3);
+  h.add(10, 1);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(IntHistogram, QuantileStepFunction) {
+  IntHistogram h;
+  for (int v = 1; v <= 10; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.0), 1);
+  EXPECT_EQ(h.quantile(1.0), 10);
+  EXPECT_EQ(h.quantile(0.5), 5);
+  EXPECT_THROW(h.quantile(1.5), std::invalid_argument);
+}
+
+TEST(IntHistogram, TailFraction) {
+  IntHistogram h;
+  h.add(1, 8);
+  h.add(5, 2);
+  EXPECT_DOUBLE_EQ(h.tail_fraction(5), 0.2);
+  EXPECT_DOUBLE_EQ(h.tail_fraction(6), 0.0);
+  EXPECT_DOUBLE_EQ(h.tail_fraction(0), 1.0);
+}
+
+TEST(IntHistogram, ItemsSkipGaps) {
+  IntHistogram h;
+  h.add(2);
+  h.add(7, 3);
+  const auto items = h.items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], (std::pair<std::int64_t, std::uint64_t>{2, 1}));
+  EXPECT_EQ(items[1], (std::pair<std::int64_t, std::uint64_t>{7, 3}));
+}
+
+TEST(IntHistogram, MergePreservesTotals) {
+  IntHistogram a, b;
+  a.add(1, 2);
+  a.add(4);
+  b.add(4, 5);
+  b.add(-2);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 9u);
+  EXPECT_EQ(a.count(4), 6u);
+  EXPECT_EQ(a.min(), -2);
+}
+
+TEST(IntHistogram, AsciiRendersBars) {
+  IntHistogram h;
+  h.add(0, 10);
+  h.add(1, 5);
+  const std::string art = h.ascii(20);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find("10"), std::string::npos);
+}
+
+TEST(IntHistogram, NegativeGrowth) {
+  IntHistogram h;
+  h.add(5);
+  h.add(-5);
+  h.add(0);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(-5), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+}  // namespace
+}  // namespace saer

@@ -1,0 +1,81 @@
+// Tests for the per-client neighborhood profiler.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/neighborhood.hpp"
+#include "graph/generators.hpp"
+
+namespace saer {
+namespace {
+
+ProtocolParams profile_params(double c, std::uint32_t d = 2,
+                              std::uint64_t seed = 55) {
+  ProtocolParams p;
+  p.d = d;
+  p.c = c;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Neighborhood, SnapshotOrderingInvariants) {
+  const BipartiteGraph g = random_regular(256, theorem_degree(256), 6);
+  const auto profile = neighborhood_profile(g, profile_params(2.0));
+  ASSERT_FALSE(profile.empty());
+  double prev_k_max = 0;
+  for (const NeighborhoodSnapshot& s : profile) {
+    // mean <= p90 <= max for both observables.
+    EXPECT_LE(s.s_mean, s.s_p90 + 1e-12);
+    EXPECT_LE(s.s_p90, s.s_max + 1e-12);
+    EXPECT_LE(s.k_mean, s.k_p90 + 1e-12);
+    EXPECT_LE(s.k_p90, s.k_max + 1e-12);
+    // S_t(v) <= K_t(v) pointwise implies it for all summary levels.
+    EXPECT_LE(s.s_mean, s.k_mean + 1e-12);
+    EXPECT_LE(s.s_max, s.k_max + 1e-12);
+    // K is cumulative: its max never decreases.
+    EXPECT_GE(s.k_max, prev_k_max - 1e-12);
+    prev_k_max = s.k_max;
+  }
+}
+
+TEST(Neighborhood, MaxColumnsMatchDeepTrace) {
+  const BipartiteGraph g = random_regular(256, theorem_degree(256), 7);
+  ProtocolParams params = profile_params(1.8);
+  const auto profile = neighborhood_profile(g, params);
+  params.deep_trace = true;
+  const RunResult res = run_protocol(g, params);
+  ASSERT_EQ(profile.size(), res.trace.size());
+  for (std::size_t t = 0; t < profile.size(); ++t) {
+    EXPECT_NEAR(profile[t].s_max, res.trace[t].s_max, 1e-12) << "round " << t;
+    EXPECT_NEAR(profile[t].k_max, res.trace[t].k_max, 1e-12) << "round " << t;
+    EXPECT_EQ(profile[t].alive,
+              res.trace[t].alive_begin - res.trace[t].accepted);
+  }
+}
+
+TEST(Neighborhood, AliveReachesZeroOnCompletion) {
+  const BipartiteGraph g = random_regular(128, 16, 8);
+  const auto profile = neighborhood_profile(g, profile_params(8.0));
+  ASSERT_FALSE(profile.empty());
+  EXPECT_EQ(profile.back().alive, 0u);
+}
+
+TEST(Neighborhood, UnionBoundSlackVisible) {
+  // The distribution point: the mean burned fraction is far below the max
+  // in a contended run (the union bound over clients is pessimistic).
+  const BipartiteGraph g = random_regular(512, theorem_degree(512), 9);
+  const auto profile = neighborhood_profile(g, profile_params(1.5));
+  double max_gap = 0;
+  for (const NeighborhoodSnapshot& s : profile)
+    max_gap = std::max(max_gap, s.s_max - s.s_mean);
+  EXPECT_GT(max_gap, 0.0);
+}
+
+TEST(Neighborhood, RejectsIsolatedClients) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(2, 2, {{0, 0}});
+  EXPECT_THROW(neighborhood_profile(g, profile_params(2.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saer

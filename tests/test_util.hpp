@@ -1,0 +1,21 @@
+#pragma once
+// Shared helpers for the test suite.
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.hpp"
+#include "graph/generators.hpp"
+
+namespace saer::testing {
+
+/// Small complete bipartite graph (dense reference case).
+inline BipartiteGraph tiny_complete(NodeId n = 8) {
+  return complete_bipartite(n, n);
+}
+
+/// Regular sparse graph at the theorem's degree scale for moderate n.
+inline BipartiteGraph theorem_graph(NodeId n, std::uint64_t seed) {
+  return random_regular(n, theorem_degree(n), seed);
+}
+
+}  // namespace saer::testing

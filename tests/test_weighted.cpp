@@ -1,0 +1,119 @@
+// Tests for the weighted-balls extension.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hpp"
+#include "core/weighted.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace saer {
+namespace {
+
+WeightedParams wparams(std::uint32_t d, std::uint64_t capacity,
+                       Protocol p = Protocol::kSaer) {
+  WeightedParams params;
+  params.protocol = p;
+  params.d = d;
+  params.capacity = capacity;
+  params.seed = 33;
+  return params;
+}
+
+TEST(Weighted, UnitWeightsReduceToUnweightedProtocol) {
+  const BipartiteGraph g = random_regular(128, 16, 5);
+  const std::uint32_t d = 2;
+  ProtocolParams up;
+  up.d = d;
+  up.c = 4.0;
+  up.seed = 33;
+  const WeightedParams wp = wparams(d, up.capacity());
+  const std::vector<std::uint32_t> unit(
+      static_cast<std::size_t>(g.num_clients()) * d, 1);
+  const RunResult a = run_protocol(g, up);
+  const WeightedResult b = run_protocol_weighted(g, wp, unit);
+  // Same randomness stream, same thresholds: identical outcome.
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.max_load, b.max_weight_load);
+}
+
+TEST(Weighted, CapacityNeverExceeded) {
+  const BipartiteGraph g = random_regular(256, 25, 6);
+  const std::uint32_t d = 2;
+  Xoshiro256ss rng(9);
+  std::vector<std::uint32_t> weights(512);
+  for (auto& w : weights) w = 1 + static_cast<std::uint32_t>(rng.bounded(4));
+  const WeightedParams params = wparams(d, 12);
+  const WeightedResult res = run_protocol_weighted(g, params, weights);
+  EXPECT_LE(res.max_weight_load, 12u);
+  check_weighted_result(g, params, weights, res);
+}
+
+TEST(Weighted, HeavyBallsCompleteWithGenerousCapacity) {
+  const BipartiteGraph g = random_regular(512, theorem_degree(512), 7);
+  const std::uint32_t d = 2;
+  Xoshiro256ss rng(10);
+  std::vector<std::uint32_t> weights(1024);
+  std::uint64_t total = 0;
+  for (auto& w : weights) {
+    w = 1 + static_cast<std::uint32_t>(rng.bounded(8));
+    total += w;
+  }
+  // Capacity 8x the mean per-server weight.
+  const std::uint64_t cap = 8 * (total / g.num_servers() + 1);
+  const WeightedParams params = wparams(d, cap);
+  const WeightedResult res = run_protocol_weighted(g, params, weights);
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.total_weight, total);
+  check_weighted_result(g, params, weights, res);
+}
+
+TEST(Weighted, RaesModeNeverBurns) {
+  const BipartiteGraph g = random_regular(128, 16, 8);
+  std::vector<std::uint32_t> weights(128, 2);
+  const WeightedParams params = wparams(1, 6, Protocol::kRaes);
+  const WeightedResult res = run_protocol_weighted(g, params, weights);
+  EXPECT_EQ(res.burned_servers, 0u);
+  EXPECT_LE(res.max_weight_load, 6u);
+}
+
+TEST(Weighted, OverweightBallRejected) {
+  const BipartiteGraph g = complete_bipartite(4, 4);
+  std::vector<std::uint32_t> weights(4, 1);
+  weights[2] = 99;
+  EXPECT_THROW(run_protocol_weighted(g, wparams(1, 10), weights),
+               std::invalid_argument);
+  weights[2] = 0;
+  EXPECT_THROW(run_protocol_weighted(g, wparams(1, 10), weights),
+               std::invalid_argument);
+}
+
+TEST(Weighted, BadParamsRejected) {
+  const BipartiteGraph g = complete_bipartite(4, 4);
+  const std::vector<std::uint32_t> weights(4, 1);
+  EXPECT_THROW(run_protocol_weighted(g, wparams(0, 10), weights),
+               std::invalid_argument);
+  EXPECT_THROW(run_protocol_weighted(g, wparams(1, 0), weights),
+               std::invalid_argument);
+  const std::vector<std::uint32_t> short_weights(3, 1);
+  EXPECT_THROW(run_protocol_weighted(g, wparams(1, 10), short_weights),
+               std::invalid_argument);
+}
+
+TEST(Weighted, SkewedWeightsStressBurning) {
+  // 10% elephant balls at weight 10 among mice at weight 1, tight capacity:
+  // invariants must hold whether or not the run completes.
+  const BipartiteGraph g = ring_proximity(256, 16);
+  Xoshiro256ss rng(11);
+  std::vector<std::uint32_t> weights(256);
+  for (auto& w : weights) w = rng.bernoulli(0.1) ? 10 : 1;
+  WeightedParams params = wparams(1, 12);
+  params.max_rounds = 100;
+  const WeightedResult res = run_protocol_weighted(g, params, weights);
+  EXPECT_LE(res.max_weight_load, 12u);
+  check_weighted_result(g, params, weights, res);
+}
+
+}  // namespace
+}  // namespace saer
