@@ -8,6 +8,10 @@
 //   --seed <int>          master seed
 //   --topology <name>     regular | ring | grid-free topologies below
 //   --csv <path>          also write the series as CSV
+// Sweep-scheduler binaries additionally accept:
+//   --jobs <int>          worker threads (0 = hardware concurrency)
+//   --runs-csv <path>     stream per-replication records as CSV
+//   --runs-jsonl <path>   stream per-replication records as JSONL
 
 #include <cmath>
 #include <stdexcept>
@@ -15,6 +19,7 @@
 
 #include "graph/generators.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 #include "util/cli.hpp"
 
 namespace saer::benchfig {
@@ -50,6 +55,28 @@ inline GraphFactory make_factory(const std::string& topology, NodeId n) {
   }
   throw std::invalid_argument("unknown --topology " + topology +
                               " (regular|ring|trust|almost)");
+}
+
+/// Scheduler options from the shared sweep flags.
+inline SweepOptions sweep_options(const CliArgs& args) {
+  SweepOptions options;
+  options.jobs = static_cast<unsigned>(args.get_uint("jobs", 0));
+  options.csv_path = args.get("runs-csv", "");
+  options.jsonl_path = args.get("runs-jsonl", "");
+  return options;
+}
+
+/// Grid point at (topology, n) with the factory, label, and topology cache
+/// key filled in; the caller sets protocol parameters.
+inline SweepPoint make_point(const std::string& topology, NodeId n,
+                             std::uint32_t reps, std::uint64_t seed) {
+  SweepPoint point;
+  point.label = topology + " n=" + std::to_string(n);
+  point.factory = make_factory(topology, n);
+  point.config.replications = reps;
+  point.config.master_seed = seed;
+  point.topology_key = topology_cache_key(topology, n);
+  return point;
 }
 
 /// Rejects typo'd flags with a readable message; call after all getters.

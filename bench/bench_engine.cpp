@@ -5,14 +5,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <map>
+#include <vector>
 
 #include "baselines/one_shot.hpp"
 #include "baselines/sequential_greedy.hpp"
 #include "core/engine.hpp"
 #include "graph/generators.hpp"
 #include "net/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -150,6 +154,56 @@ void BM_SaerThreads(benchmark::State& state) {
   set_thread_count(0);
 }
 BENCHMARK(BM_SaerThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// Sweep-scheduler throughput: a 4-point c-grid with 8 replications per
+// point, fanned out over `jobs` pool workers.  The jobs=1 / jobs=N ratio is
+// the replication-level parallel speedup (the grid the CI runner times).
+void BM_SweepScheduler(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(1 << 12);
+  std::vector<SweepPoint> grid;
+  for (const double c : {1.5, 2.0, 3.0, 4.0}) {
+    SweepPoint point;
+    point.label = "c=" + std::to_string(c);
+    point.factory = [n](std::uint64_t seed) {
+      return random_regular(n, theorem_degree(n), seed);
+    };
+    point.config.params.d = 2;
+    point.config.params.c = c;
+    point.config.params.record_trace = false;
+    point.config.replications = 8;
+    point.config.master_seed = 42;
+    grid.push_back(std::move(point));
+  }
+  SweepOptions options;
+  options.jobs = static_cast<unsigned>(state.range(0));
+  const SweepScheduler scheduler(options);
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    const SweepResult result = scheduler.run(grid);
+    runs += result.runs.size();
+    benchmark::DoNotOptimize(result.aggregates.front().max_load.mean());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(runs));
+  state.counters["runs/s"] = benchmark::Counter(
+      static_cast<double>(runs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SweepScheduler)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// Raw pool overhead: how fast trivial tasks drain through submit/steal.
+void BM_ThreadPoolTaskOverhead(benchmark::State& state) {
+  ThreadPool pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sum{0};
+    for (int i = 0; i < 1024; ++i) {
+      pool.submit([&sum] { sum.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(sum.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_ThreadPoolTaskOverhead)->Arg(1)->Arg(4);
 
 }  // namespace
 

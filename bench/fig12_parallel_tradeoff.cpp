@@ -5,13 +5,16 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "baselines/parallel_greedy.hpp"
 #include "bench_common.hpp"
 #include "core/engine.hpp"
 #include "sim/figure.hpp"
+#include "sim/sweep.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace saer;
@@ -26,6 +29,7 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
   const std::uint64_t seed = args.get_uint("seed", 42);
   const std::string topology = args.get("topology", "regular");
+  const SweepOptions sweep_options = benchfig::sweep_options(args);
   benchfig::reject_unknown_flags(args);
 
   const GraphFactory factory = benchfig::make_factory(topology, n);
@@ -40,9 +44,19 @@ int main(int argc, char** argv) {
        "work_per_ball"},
       csv);
 
-  for (const std::uint64_t r : rs) {
-    Accumulator load, work;
-    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+  // The (r, rep) greedy grid is embarrassingly parallel: every cell writes
+  // its own slot, and the ordered merge below reproduces the serial
+  // accumulator arithmetic bitwise.
+  struct GreedySlot {
+    double load = 0, work = 0;
+  };
+  std::vector<GreedySlot> cells(rs.size() * reps);
+  // Scoped pool: destroyed before the SAER sweep spins up its own workers.
+  {
+    ThreadPool pool(sweep_options.jobs);
+    pool.for_each_index(cells.size(), [&](std::size_t i) {
+      const std::uint64_t r = rs[i / reps];
+      const auto rep = static_cast<std::uint32_t>(i % reps);
       const BipartiteGraph g = factory(replication_seed(seed, 2 * rep + 1));
       ParallelGreedyParams params;
       params.d = d;
@@ -51,28 +65,39 @@ int main(int argc, char** argv) {
       params.rounds = static_cast<std::uint32_t>(r);
       params.seed = replication_seed(seed, 2 * rep);
       const AllocationResult res = parallel_greedy(g, params);
-      load.add(static_cast<double>(res.max_load));
-      work.add(static_cast<double>(res.probes) /
-               (static_cast<double>(n) * d));
+      cells[i].load = static_cast<double>(res.max_load);
+      cells[i].work =
+          static_cast<double>(res.probes) / (static_cast<double>(n) * d);
+    });
+  }
+  for (std::size_t ri = 0; ri < rs.size(); ++ri) {
+    const std::uint64_t r = rs[ri];
+    Accumulator load, work;
+    for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      load.add(cells[ri * reps + rep].load);
+      work.add(cells[ri * reps + rep].work);
     }
     fig.add_row({Table::num(r), Table::num(load.mean(), 2),
                  Table::num(std::pow(base, 1.0 / static_cast<double>(r)), 2),
                  Table::num(work.mean(), 3)});
   }
 
-  // SAER contrast row at c = 2.
+  // SAER contrast row at c = 2, scheduled as a one-point sweep.  The means
+  // intentionally cover every run (not only completed ones), matching the
+  // original serial row.
   {
+    SweepPoint point = benchfig::make_point(topology, n, reps, seed);
+    point.config.params.d = d;
+    point.config.params.c = 2.0;
+    const SweepResult swept = SweepScheduler(sweep_options).run({point});
     Accumulator load, work, rounds;
-    for (std::uint32_t rep = 0; rep < reps; ++rep) {
-      const BipartiteGraph g = factory(replication_seed(seed, 2 * rep + 1));
-      ProtocolParams params;
-      params.d = d;
-      params.c = 2.0;
-      params.seed = replication_seed(seed, 2 * rep);
-      const RunResult res = run_protocol(g, params);
-      load.add(static_cast<double>(res.max_load));
-      work.add(res.work_per_ball());
-      rounds.add(res.rounds);
+    for (const SweepRun& run : swept.runs) {
+      load.add(static_cast<double>(run.record.max_load));
+      work.add(run.record.total_balls
+                   ? static_cast<double>(run.record.work_messages) /
+                         static_cast<double>(run.record.total_balls)
+                   : 0.0);
+      rounds.add(run.record.rounds);
     }
     fig.add_row({"SAER c=2 (" + Table::num(rounds.mean(), 1) + " rounds)",
                  Table::num(load.mean(), 2), "<= c*d (constant)",

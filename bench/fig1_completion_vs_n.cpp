@@ -12,6 +12,7 @@
 #include "analysis/recurrences.hpp"
 #include "bench_common.hpp"
 #include "sim/figure.hpp"
+#include "sim/sweep.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
   const std::uint64_t seed = args.get_uint("seed", 42);
   const std::string topology = args.get("topology", "regular");
+  const SweepOptions sweep_options = benchfig::sweep_options(args);
   benchfig::reject_unknown_flags(args);
 
   FigureWriter fig(
@@ -37,20 +39,27 @@ int main(int argc, char** argv) {
        "horizon_3ln_n", "failures"},
       csv);
 
-  std::vector<double> xs, ys;
+  // Grid: per n, one SAER point and one RAES point; the scheduler fans all
+  // replications out at once instead of running each point serially.
+  std::vector<SweepPoint> grid;
   for (const std::uint64_t n64 : sizes) {
     const auto n = static_cast<NodeId>(n64);
-    ExperimentConfig cfg;
-    cfg.params.d = d;
-    cfg.params.c = c;
-    cfg.replications = reps;
-    cfg.master_seed = seed;
-    const GraphFactory factory = benchfig::make_factory(topology, n);
+    for (const Protocol proto : {Protocol::kSaer, Protocol::kRaes}) {
+      SweepPoint point = benchfig::make_point(topology, n, reps, seed);
+      point.config.params.protocol = proto;
+      point.config.params.d = d;
+      point.config.params.c = c;
+      grid.push_back(std::move(point));
+    }
+  }
+  const SweepResult swept = SweepScheduler(sweep_options).run(grid);
 
-    cfg.params.protocol = Protocol::kSaer;
-    const Aggregate saer = run_replicated(factory, cfg);
-    cfg.params.protocol = Protocol::kRaes;
-    const Aggregate raes = run_replicated(factory, cfg);
+  std::vector<double> xs, ys;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::uint64_t n64 = sizes[i];
+    const auto n = static_cast<NodeId>(n64);
+    const Aggregate& saer = swept.aggregates[2 * i];
+    const Aggregate& raes = swept.aggregates[2 * i + 1];
 
     fig.add_row({Table::num(n64), Table::num(std::uint64_t{theorem_degree(n)}),
                  Table::num(saer.rounds.mean(), 2),
@@ -65,6 +74,8 @@ int main(int argc, char** argv) {
     }
   }
   fig.finish();
+  std::printf("sweep: %zu runs in %.3f s (%u jobs)\n", swept.runs.size(),
+              swept.wall_seconds, swept.jobs);
 
   if (xs.size() >= 3) {
     const LinearFit fit = fit_log2(xs, ys);

@@ -6,6 +6,7 @@
 // completion cost that buying a smaller load bound incurs.
 
 #include <cstdio>
+#include <vector>
 
 #include "baselines/one_shot.hpp"
 #include "baselines/sequential_greedy.hpp"
@@ -13,7 +14,9 @@
 #include "util/rng.hpp"
 #include "core/engine.hpp"
 #include "sim/figure.hpp"
+#include "sim/sweep.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace saer;
@@ -28,18 +31,36 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
   const std::uint64_t seed = args.get_uint("seed", 42);
   const std::string topology = args.get("topology", "regular");
+  const SweepOptions sweep_options = benchfig::sweep_options(args);
   benchfig::reject_unknown_flags(args);
 
-  // Baselines are c-independent: compute them once per replication.
+  // Baselines are c-independent: compute them once per replication, fanned
+  // out on a scoped pool (destroyed before the sweep spins up its own).
+  // Each replication writes its own slot; the ordered merge afterwards
+  // keeps the accumulators bit-identical to serial.
+  struct BaselineSlot {
+    double oneshot = 0, greedy2 = 0, greedy_full = 0;
+  };
+  std::vector<BaselineSlot> slots(reps);
+  {
+    ThreadPool pool(sweep_options.jobs);
+    pool.for_each_index(reps, [&](std::size_t rep) {
+      const std::uint64_t gseed =
+          replication_seed(seed, 100 + static_cast<std::uint64_t>(rep));
+      const BipartiteGraph g = benchfig::make_factory(topology, n)(gseed);
+      BaselineSlot& slot = slots[rep];
+      slot.oneshot = static_cast<double>(one_shot_random(g, d, gseed).max_load);
+      slot.greedy2 =
+          static_cast<double>(sequential_greedy_k(g, d, 2, gseed).max_load);
+      slot.greedy_full = static_cast<double>(
+          sequential_greedy_full_scan(g, d, gseed).max_load);
+    });
+  }
   Accumulator oneshot_max, greedy2_max, greedy_full_max;
-  for (std::uint32_t rep = 0; rep < reps; ++rep) {
-    const std::uint64_t gseed = replication_seed(seed, 100 + rep);
-    const BipartiteGraph g = benchfig::make_factory(topology, n)(gseed);
-    oneshot_max.add(static_cast<double>(one_shot_random(g, d, gseed).max_load));
-    greedy2_max.add(
-        static_cast<double>(sequential_greedy_k(g, d, 2, gseed).max_load));
-    greedy_full_max.add(
-        static_cast<double>(sequential_greedy_full_scan(g, d, gseed).max_load));
+  for (const BaselineSlot& slot : slots) {
+    oneshot_max.add(slot.oneshot);
+    greedy2_max.add(slot.greedy2);
+    greedy_full_max.add(slot.greedy_full);
   }
 
   FigureWriter fig(
@@ -49,18 +70,26 @@ int main(int argc, char** argv) {
        "raes_rounds", "failures"},
       csv);
 
+  std::vector<SweepPoint> grid;
   for (const double c : cs) {
-    ExperimentConfig cfg;
-    cfg.params.d = d;
-    cfg.params.c = c;
-    cfg.replications = reps;
-    cfg.master_seed = seed;
-    const GraphFactory factory = benchfig::make_factory(topology, n);
-    cfg.params.protocol = Protocol::kSaer;
-    const Aggregate saer = run_replicated(factory, cfg);
-    cfg.params.protocol = Protocol::kRaes;
-    const Aggregate raes = run_replicated(factory, cfg);
-    fig.add_row({Table::num(c, 2), Table::num(cfg.params.capacity()),
+    for (const Protocol proto : {Protocol::kSaer, Protocol::kRaes}) {
+      SweepPoint point = benchfig::make_point(topology, n, reps, seed);
+      point.config.params.protocol = proto;
+      point.config.params.d = d;
+      point.config.params.c = c;
+      grid.push_back(std::move(point));
+    }
+  }
+  const SweepResult swept = SweepScheduler(sweep_options).run(grid);
+
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const double c = cs[i];
+    const Aggregate& saer = swept.aggregates[2 * i];
+    const Aggregate& raes = swept.aggregates[2 * i + 1];
+    ProtocolParams cap_params;
+    cap_params.d = d;
+    cap_params.c = c;
+    fig.add_row({Table::num(c, 2), Table::num(cap_params.capacity()),
                  Table::num(saer.max_load.mean(), 2),
                  Table::num(saer.rounds.mean(), 2),
                  Table::num(raes.max_load.mean(), 2),
@@ -68,6 +97,8 @@ int main(int argc, char** argv) {
                  Table::num(std::uint64_t{saer.failed + raes.failed})});
   }
   fig.finish();
+  std::printf("sweep: %zu runs in %.3f s (%u jobs)\n", swept.runs.size(),
+              swept.wall_seconds, swept.jobs);
 
   std::printf(
       "baselines (mean max load over %u reps): one-shot=%.2f  "

@@ -11,29 +11,43 @@
 #include "graph/generators.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/spectral.hpp"
+#include "sim/sweep.hpp"
 #include "util/table.hpp"
 
 namespace saer::cli {
 
-BipartiteGraph build_graph(const CliArgs& args) {
-  const std::string topology = args.get("topology", "regular");
-  const auto n = static_cast<NodeId>(args.get_uint("n", 4096));
-  const std::uint64_t seed = args.get_uint("seed", 1);
+namespace {
+
+/// Seedable topology factory: the single home of the topology/flag switch.
+/// build_graph evaluates it once at the --seed flag; the sweep grid calls
+/// it with a fresh derived seed per replication.
+GraphFactory make_topology_factory(const std::string& topology, NodeId n,
+                                   const CliArgs& args) {
   const auto delta = static_cast<std::uint32_t>(
       args.get_uint("delta", theorem_degree(n)));
-  if (topology == "regular") return random_regular(n, delta, seed);
-  if (topology == "ring") return ring_proximity(n, delta);
+  if (topology == "regular") {
+    return [n, delta](std::uint64_t seed) {
+      return random_regular(n, delta, seed);
+    };
+  }
+  if (topology == "ring") {
+    return [n, delta](std::uint64_t) { return ring_proximity(n, delta); };
+  }
   if (topology == "grid") {
     const auto side = static_cast<NodeId>(
         std::llround(std::sqrt(static_cast<double>(n))));
     const auto radius = static_cast<std::uint32_t>(args.get_uint("radius", 3));
-    return grid_proximity(side, radius);
+    return [side, radius](std::uint64_t) {
+      return grid_proximity(side, radius);
+    };
   }
   if (topology == "trust") {
     const auto groups =
         static_cast<std::uint32_t>(args.get_uint("groups", 4));
-    return trust_groups(n, std::min<std::uint32_t>(delta, n / groups), groups,
-                        seed);
+    const std::uint32_t capped = std::min<std::uint32_t>(delta, n / groups);
+    return [n, capped, groups](std::uint64_t seed) {
+      return trust_groups(n, capped, groups, seed);
+    };
   }
   if (topology == "almost") {
     AlmostRegularParams p;
@@ -41,10 +55,21 @@ BipartiteGraph build_graph(const CliArgs& args) {
     p.heavy_delta = static_cast<std::uint32_t>(
         args.get_uint("heavy-delta", 2 * delta));
     p.heavy_fraction = args.get_double("heavy-fraction", 0.05);
-    return almost_regular(n, p, seed);
+    return [n, p](std::uint64_t seed) { return almost_regular(n, p, seed); };
   }
-  if (topology == "complete") return complete_bipartite(n, n);
+  if (topology == "complete") {
+    return [n](std::uint64_t) { return complete_bipartite(n, n); };
+  }
   throw std::invalid_argument("unknown --topology " + topology);
+}
+
+}  // namespace
+
+BipartiteGraph build_graph(const CliArgs& args) {
+  const std::string topology = args.get("topology", "regular");
+  const auto n = static_cast<NodeId>(args.get_uint("n", 4096));
+  const std::uint64_t seed = args.get_uint("seed", 1);
+  return make_topology_factory(topology, n, args)(seed);
 }
 
 BipartiteGraph resolve_graph(const CliArgs& args) {
@@ -151,13 +176,91 @@ int cmd_expander(const CliArgs& args) {
   return 0;
 }
 
+int cmd_sweep(const CliArgs& args) {
+  const std::string topology = args.get("topology", "regular");
+  const auto sizes = args.get_uint_list("sizes", {4096});
+  const auto ds = args.get_uint_list("ds", {2});
+  const auto cs = args.get_double_list("cs", {2.0});
+  const std::string protocol = args.get("protocol", "saer");
+  const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
+  const std::uint64_t seed = args.get_uint("seed", 42);
+  const bool share_graph = args.get_bool("share-graph", false);
+  const bool quiet = args.get_bool("quiet", false);
+
+  std::vector<Protocol> protocols;
+  if (protocol == "saer") {
+    protocols = {Protocol::kSaer};
+  } else if (protocol == "raes") {
+    protocols = {Protocol::kRaes};
+  } else if (protocol == "both") {
+    protocols = {Protocol::kSaer, Protocol::kRaes};
+  } else {
+    std::fprintf(stderr, "sweep: --protocol must be saer, raes, or both\n");
+    return 2;
+  }
+
+  std::vector<SweepPoint> grid;
+  for (const std::uint64_t n64 : sizes) {
+    const auto n = static_cast<NodeId>(n64);
+    const GraphFactory factory = make_topology_factory(topology, n, args);
+    for (const std::uint64_t d : ds) {
+      for (const double c : cs) {
+        for (const Protocol proto : protocols) {
+          SweepPoint point;
+          point.label = to_string(proto) + " n=" + std::to_string(n64) +
+                        " d=" + std::to_string(d) + " c=" + Table::num(c, 2);
+          point.factory = factory;
+          point.config.params.protocol = proto;
+          point.config.params.d = static_cast<std::uint32_t>(d);
+          point.config.params.c = c;
+          point.config.replications = reps;
+          point.config.master_seed = seed;
+          point.config.resample_graph = !share_graph;
+          point.topology_key = topology_cache_key(topology, n64);
+          grid.push_back(std::move(point));
+        }
+      }
+    }
+  }
+
+  SweepOptions options;
+  options.jobs = static_cast<unsigned>(args.get_uint("jobs", 0));
+  options.csv_path = args.get("csv", "");
+  options.jsonl_path = args.get("jsonl", "");
+  const SweepResult result = SweepScheduler(options).run(grid);
+
+  if (!quiet) {
+    Table t({"point", "ok", "fail", "rounds", "ci95", "work/ball", "max_load",
+             "burned%"});
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+      const Aggregate& agg = result.aggregates[p];
+      t.add_row({grid[p].label, Table::num(std::uint64_t{agg.completed}),
+                 Table::num(std::uint64_t{agg.failed}),
+                 Table::num(agg.rounds.mean(), 2),
+                 Table::num(agg.rounds.ci95(), 2),
+                 Table::num(agg.work_per_ball.mean(), 2),
+                 Table::num(agg.max_load.mean(), 2),
+                 Table::num(100.0 * agg.burned_fraction.mean(), 2)});
+    }
+    std::printf("%s", t.render().c_str());
+  }
+  std::printf("sweep: %zu runs over %zu points in %.3f s (%u jobs)\n",
+              result.runs.size(), grid.size(), result.wall_seconds,
+              result.jobs);
+  return 0;
+}
+
 std::string usage() {
-  return "usage: saer <generate|stats|run|expander> [flags]\n"
+  return "usage: saer <generate|stats|run|expander|sweep> [flags]\n"
          "  generate --topology T --n N --out PATH [--delta D] [--seed S]\n"
          "  stats    --graph PATH | --topology T --n N\n"
          "  run      [--graph PATH | --topology T --n N] [--protocol saer|raes]\n"
          "           [--d D] [--c C] [--seed S] [--trace]\n"
          "  expander [--graph PATH | --topology T --n N] [--d D] [--c C]\n"
+         "  sweep    --topology T --sizes N1,N2 [--ds D1,D2] [--cs C1,C2]\n"
+         "           [--protocol saer|raes|both] [--reps R] [--seed S]\n"
+         "           [--jobs N] [--csv PATH] [--jsonl PATH] [--share-graph]\n"
+         "           [--quiet]\n"
          "topologies: regular ring grid trust almost complete\n";
 }
 
@@ -173,6 +276,7 @@ int dispatch(int argc, const char* const* argv) {
     if (command == "stats") return cmd_stats(args);
     if (command == "run") return cmd_run(args);
     if (command == "expander") return cmd_expander(args);
+    if (command == "sweep") return cmd_sweep(args);
     std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
                  usage().c_str());
     return 2;

@@ -8,6 +8,10 @@
 //   saer run      --graph g.txt [--protocol saer|raes] [--d 2] [--c 4]
 //                 [--seed S] [--trace]
 //   saer expander --graph g.txt [--d 1] [--c 4] [--seed S]
+//   saer sweep    --topology regular --sizes 1024,4096 [--ds 2] [--cs 2,4]
+//                 [--protocol saer|raes|both] [--reps R] [--seed S]
+//                 [--jobs N] [--csv runs.csv] [--jsonl runs.jsonl]
+//                 [--share-graph] [--quiet]
 //
 // `--topology` accepts: regular | ring | grid | trust | almost | complete.
 
@@ -29,6 +33,7 @@ int cmd_generate(const CliArgs& args);
 int cmd_stats(const CliArgs& args);
 int cmd_run(const CliArgs& args);
 int cmd_expander(const CliArgs& args);
+int cmd_sweep(const CliArgs& args);
 
 /// Dispatches on argv[1]; returns process exit code.
 int dispatch(int argc, const char* const* argv);

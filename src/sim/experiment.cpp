@@ -1,50 +1,18 @@
 #include "sim/experiment.hpp"
 
-#include <cmath>
-#include <optional>
-
-#include "core/metrics.hpp"
-#include "util/rng.hpp"
+#include "sim/sweep.hpp"
 
 namespace saer {
 
 Aggregate run_replicated(const GraphFactory& factory,
-                         const ExperimentConfig& config) {
-  Aggregate agg;
-  std::optional<BipartiteGraph> shared_graph;
-  if (!config.resample_graph)
-    shared_graph = factory(replication_seed(config.master_seed, 1));
-
-  for (std::uint32_t rep = 0; rep < config.replications; ++rep) {
-    const std::uint64_t protocol_seed =
-        replication_seed(config.master_seed, 2ULL * rep);
-    const std::uint64_t graph_seed =
-        replication_seed(config.master_seed, 2ULL * rep + 1);
-
-    std::optional<BipartiteGraph> fresh_graph;
-    if (config.resample_graph) fresh_graph = factory(graph_seed);
-    const BipartiteGraph& graph = fresh_graph ? *fresh_graph : *shared_graph;
-    ProtocolParams params = config.params;
-    params.seed = protocol_seed;
-    const RunResult res = run_protocol(graph, params);
-
-    if (res.completed) {
-      ++agg.completed;
-      agg.rounds.add(static_cast<double>(res.rounds));
-      agg.work_per_ball.add(res.work_per_ball());
-    } else {
-      ++agg.failed;
-    }
-    agg.max_load.add(static_cast<double>(res.max_load));
-    agg.burned_fraction.add(static_cast<double>(res.burned_servers) /
-                            static_cast<double>(graph.num_servers()));
-    // Heavy-stage decay: rounds where alive >= nd / ln(nd).
-    const double nd = static_cast<double>(res.total_balls);
-    const auto heavy_threshold =
-        static_cast<std::uint64_t>(nd / std::max(1.0, std::log(nd)));
-    agg.decay_rate.add(alive_decay_rate(res.trace, heavy_threshold));
-  }
-  return agg;
+                         const ExperimentConfig& config, unsigned jobs) {
+  SweepPoint point;
+  point.factory = factory;
+  point.config = config;
+  SweepOptions options;
+  options.jobs = jobs;
+  SweepResult result = SweepScheduler(options).run({point});
+  return result.aggregates.front();
 }
 
 RunResult run_once(const BipartiteGraph& graph, const ProtocolParams& params) {

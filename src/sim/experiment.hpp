@@ -45,8 +45,15 @@ struct Aggregate {
 /// Runs `config.replications` independent replications.  Replication i uses
 /// protocol seed replication_seed(master_seed, 2i) and graph seed
 /// replication_seed(master_seed, 2i+1).
+///
+/// Delegates to the batched SweepScheduler (sim/sweep.hpp).  `jobs` is the
+/// worker count (0 = hardware concurrency); results are bit-identical for
+/// any value.  The default of 1 preserves the serial contract that the
+/// factory is never invoked concurrently, which callers with stateful
+/// factories rely on; pass jobs > 1 only with thread-safe factories.
 [[nodiscard]] Aggregate run_replicated(const GraphFactory& factory,
-                                       const ExperimentConfig& config);
+                                       const ExperimentConfig& config,
+                                       unsigned jobs = 1);
 
 /// Single run on a prebuilt graph with a derived seed (used by sweeps that
 /// need the full RunResult, e.g. the trace figures).

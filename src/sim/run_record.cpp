@@ -1,10 +1,17 @@
 #include "sim/run_record.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 namespace saer {
+
+std::string format_double_compact(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
 
 RunRecord RunRecord::from_result(const ProtocolParams& params,
                                  const RunResult& result) {
@@ -98,6 +105,57 @@ RunRecord read_run_record(std::istream& is) {
     r.submitted = r.alive_begin;
   }
   return rec;
+}
+
+const std::vector<std::string>& run_record_columns() {
+  static const std::vector<std::string> columns = {
+      "protocol",      "d",        "c",
+      "seed",          "completed", "rounds",
+      "total_balls",   "alive_balls", "work_messages",
+      "work_per_ball", "max_load", "burned_servers"};
+  return columns;
+}
+
+std::vector<std::string> run_record_cells(const RunRecord& rec) {
+  const double work_per_ball =
+      rec.total_balls ? static_cast<double>(rec.work_messages) /
+                            static_cast<double>(rec.total_balls)
+                      : 0.0;
+  return {to_string(rec.params.protocol),
+          std::to_string(rec.params.d),
+          format_double_compact(rec.params.c),
+          std::to_string(rec.params.seed),
+          rec.completed ? "1" : "0",
+          std::to_string(rec.rounds),
+          std::to_string(rec.total_balls),
+          std::to_string(rec.alive_balls),
+          std::to_string(rec.work_messages),
+          format_double_compact(work_per_ball),
+          std::to_string(rec.max_load),
+          std::to_string(rec.burned_servers)};
+}
+
+std::string run_record_json(const RunRecord& rec) {
+  const auto& columns = run_record_columns();
+  const auto cells = run_record_cells(rec);
+  std::string out = "{";
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += columns[i];
+    out += "\":";
+    // Only `protocol` is textual; every other cell is already a JSON number
+    // or 0/1 boolean-as-number.
+    if (columns[i] == "protocol") {
+      out += '"';
+      out += cells[i];
+      out += '"';
+    } else {
+      out += cells[i];
+    }
+  }
+  out += '}';
+  return out;
 }
 
 void save_run_record(const std::string& path, const RunRecord& record) {

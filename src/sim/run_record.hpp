@@ -28,6 +28,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/protocol.hpp"
 
@@ -54,5 +55,21 @@ void write_run_record(std::ostream& os, const RunRecord& record);
 
 void save_run_record(const std::string& path, const RunRecord& record);
 [[nodiscard]] RunRecord load_run_record(const std::string& path);
+
+/// Tabular emission for sweep streams: the fixed column set below and one
+/// row of preformatted cells per record (the trace is never tabulated).
+/// Cell formatting is deterministic, so files produced from identical runs
+/// compare byte-equal regardless of scheduling.
+[[nodiscard]] const std::vector<std::string>& run_record_columns();
+[[nodiscard]] std::vector<std::string> run_record_cells(const RunRecord& rec);
+
+/// One-line JSON object with the same fields as run_record_columns()
+/// (no trailing newline), for JSONL streams.
+[[nodiscard]] std::string run_record_json(const RunRecord& rec);
+
+/// Compact deterministic double formatting ("%g") shared by every record
+/// cell and the sweep sinks, so all columns of a row use one rule and
+/// byte-identical output only depends on the values.
+[[nodiscard]] std::string format_double_compact(double value);
 
 }  // namespace saer

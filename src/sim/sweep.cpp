@@ -1,0 +1,259 @@
+#include "sim/sweep.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/metrics.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace saer {
+
+std::uint64_t topology_cache_key(const std::string& generator, std::uint64_t n,
+                                 std::uint64_t extra) {
+  std::uint64_t h = 0x5eed'0f'70'7014ULL;
+  for (const char ch : generator) {
+    h = mix64(h, static_cast<std::uint64_t>(static_cast<unsigned char>(ch)));
+  }
+  h = mix64(h, n);
+  h = mix64(h, extra);
+  return h ? h : 1;  // keep 0 reserved for "no cross-point reuse"
+}
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+
+/// Streams per-run rows to CSV/JSONL in global run order regardless of task
+/// completion order: completed rows are buffered until every earlier row
+/// has been written, so the files are byte-identical for any worker count.
+class OrderedSink {
+ public:
+  OrderedSink(const std::string& csv_path, const std::string& jsonl_path) {
+    if (!csv_path.empty()) {
+      csv_.emplace(csv_path);
+      auto columns = run_record_columns();
+      std::vector<std::string> header = {"point",       "label",
+                                         "replication", "graph_seed",
+                                         "num_servers", "burned_fraction",
+                                         "decay_rate"};
+      header.insert(header.end(), columns.begin(), columns.end());
+      csv_->header(header);
+    }
+    if (!jsonl_path.empty()) {
+      jsonl_.emplace(jsonl_path);
+      if (!*jsonl_) {
+        throw std::runtime_error("sweep: cannot open JSONL sink " + jsonl_path);
+      }
+    }
+  }
+
+  [[nodiscard]] bool enabled() const { return csv_ || jsonl_; }
+
+  /// Called by a task after it fully populated `run`; `index` is the global
+  /// (point, replication) rank.  Thread-safe.
+  void push(std::size_t index, const SweepRun& run, const std::string& label) {
+    std::lock_guard lock(mutex_);
+    pending_.emplace(index, Row{format_csv(run, label), format_json(run, label)});
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+      const Row& row = pending_.begin()->second;
+      if (csv_) csv_->row(row.cells);
+      if (jsonl_) *jsonl_ << row.json << '\n';
+      pending_.erase(pending_.begin());
+      ++next_;
+    }
+  }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    std::string json;
+  };
+
+  [[nodiscard]] std::vector<std::string> format_csv(const SweepRun& run,
+                                                    const std::string& label) {
+    if (!csv_) return {};
+    std::vector<std::string> cells = {std::to_string(run.point),
+                                      label,
+                                      std::to_string(run.replication),
+                                      std::to_string(run.graph_seed),
+                                      std::to_string(run.num_servers),
+                                      format_double_compact(run.burned_fraction),
+                                      format_double_compact(run.decay_rate)};
+    const auto record = run_record_cells(run.record);
+    cells.insert(cells.end(), record.begin(), record.end());
+    return cells;
+  }
+
+  [[nodiscard]] std::string format_json(const SweepRun& run,
+                                        const std::string& label) {
+    if (!jsonl_) return {};
+    std::string out = "{\"point\":" + std::to_string(run.point);
+    out += ",\"label\":\"" + json_escape(label) + '"';
+    out += ",\"replication\":" + std::to_string(run.replication);
+    out += ",\"graph_seed\":" + std::to_string(run.graph_seed);
+    out += ",\"num_servers\":" + std::to_string(run.num_servers);
+    out += ",\"burned_fraction\":" + std::string(format_double_compact(run.burned_fraction));
+    out += ",\"decay_rate\":" + std::string(format_double_compact(run.decay_rate));
+    out += ",\"run\":" + run_record_json(run.record) + '}';
+    return out;
+  }
+
+  std::mutex mutex_;
+  std::optional<CsvWriter> csv_;
+  std::optional<std::ofstream> jsonl_;
+  std::map<std::size_t, Row> pending_;
+  std::size_t next_ = 0;
+};
+
+/// Folds one replication into the aggregate with exactly the arithmetic the
+/// serial driver used, so replaying runs in order reproduces it bitwise.
+void accumulate(Aggregate& agg, const SweepRun& run) {
+  const RunRecord& rec = run.record;
+  if (rec.completed) {
+    ++agg.completed;
+    agg.rounds.add(static_cast<double>(rec.rounds));
+    agg.work_per_ball.add(rec.total_balls
+                              ? static_cast<double>(rec.work_messages) /
+                                    static_cast<double>(rec.total_balls)
+                              : 0.0);
+  } else {
+    ++agg.failed;
+  }
+  agg.max_load.add(static_cast<double>(rec.max_load));
+  agg.burned_fraction.add(run.burned_fraction);
+  agg.decay_rate.add(run.decay_rate);
+}
+
+}  // namespace
+
+SweepScheduler::SweepScheduler(SweepOptions options)
+    : options_(std::move(options)) {}
+
+SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  // Global run ranks: point p, replication r -> offsets[p] + r.
+  std::vector<std::size_t> offsets(grid.size() + 1, 0);
+  for (std::size_t p = 0; p < grid.size(); ++p) {
+    offsets[p + 1] = offsets[p] + grid[p].config.replications;
+  }
+  const std::size_t total_runs = offsets.back();
+
+  SweepResult result;
+  result.runs.resize(total_runs);
+  result.aggregates.resize(grid.size());
+
+  ThreadPool pool(options_.jobs);
+  result.jobs = pool.size();
+
+  // Phase 1: build shared topologies (resample_graph = false), one build per
+  // unique (topology_key, graph seed) -- or per point when the key is 0.
+  // The first point claiming a key supplies the factory; sharing a key
+  // asserts the factories draw from the same distribution.
+  std::vector<std::shared_ptr<const BipartiteGraph>> shared_graphs(grid.size());
+  {
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> owner;
+    std::vector<std::size_t> alias(grid.size(), SIZE_MAX);
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+      const SweepPoint& point = grid[p];
+      if (point.config.resample_graph) continue;
+      const std::uint64_t seed = replication_seed(point.config.master_seed, 1);
+      if (point.topology_key != 0) {
+        const auto [it, inserted] =
+            owner.emplace(std::make_pair(point.topology_key, seed), p);
+        if (!inserted) {
+          alias[p] = it->second;
+          continue;
+        }
+      }
+      pool.submit([&point, seed, &slot = shared_graphs[p]] {
+        slot = std::make_shared<const BipartiteGraph>(point.factory(seed));
+      });
+    }
+    pool.wait_idle();
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+      if (alias[p] != SIZE_MAX) shared_graphs[p] = shared_graphs[alias[p]];
+    }
+  }
+
+  std::optional<OrderedSink> sink;
+  if (!options_.csv_path.empty() || !options_.jsonl_path.empty()) {
+    sink.emplace(options_.csv_path, options_.jsonl_path);
+  }
+
+  // Phase 2: every replication is an independent task writing its own slot.
+  const bool keep_traces = options_.keep_traces;
+  for (std::size_t p = 0; p < grid.size(); ++p) {
+    const SweepPoint& point = grid[p];
+    const std::shared_ptr<const BipartiteGraph>& shared = shared_graphs[p];
+    for (std::uint32_t rep = 0; rep < point.config.replications; ++rep) {
+      const std::size_t index = offsets[p] + rep;
+      SweepRun& slot = result.runs[index];
+      pool.submit([&point, &slot, &sink, shared, p, rep, index, keep_traces] {
+        const std::uint64_t protocol_seed =
+            replication_seed(point.config.master_seed, 2ULL * rep);
+        const std::uint64_t graph_seed =
+            replication_seed(point.config.master_seed, 2ULL * rep + 1);
+
+        std::optional<BipartiteGraph> fresh;
+        if (!shared) fresh = point.factory(graph_seed);
+        const BipartiteGraph& graph = shared ? *shared : *fresh;
+
+        ProtocolParams params = point.config.params;
+        params.seed = protocol_seed;
+        const RunResult res = run_protocol(graph, params);
+
+        slot.point = static_cast<std::uint32_t>(p);
+        slot.replication = rep;
+        slot.protocol_seed = protocol_seed;
+        slot.graph_seed = graph_seed;
+        slot.num_servers = graph.num_servers();
+        slot.burned_fraction = static_cast<double>(res.burned_servers) /
+                               static_cast<double>(graph.num_servers());
+        const double nd = static_cast<double>(res.total_balls);
+        const auto heavy_threshold =
+            static_cast<std::uint64_t>(nd / std::max(1.0, std::log(nd)));
+        slot.decay_rate = alive_decay_rate(res.trace, heavy_threshold);
+        slot.record = RunRecord::from_result(params, res);
+        if (!keep_traces) {
+          slot.record.trace.clear();
+          slot.record.trace.shrink_to_fit();
+        }
+        if (sink) sink->push(index, slot, point.label);
+      });
+    }
+  }
+  pool.wait_idle();
+
+  // Replay slots in (point, replication) order: bit-identical to serial.
+  for (std::size_t p = 0; p < grid.size(); ++p) {
+    for (std::size_t i = offsets[p]; i < offsets[p + 1]; ++i) {
+      accumulate(result.aggregates[p], result.runs[i]);
+    }
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace saer

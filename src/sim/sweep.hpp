@@ -1,0 +1,81 @@
+#pragma once
+// Batched sweep scheduler: fans the replications of a grid of experiment
+// points out over a work-stealing ThreadPool as independent tasks.
+//
+// Determinism contract: replication i of a point uses the exact seeds the
+// serial driver uses -- protocol seed replication_seed(master, 2i), graph
+// seed replication_seed(master, 2i+1) -- every task writes only its own
+// preallocated slot, and aggregation replays the slots in (point,
+// replication) order after the pool drains.  Results, including streamed
+// CSV/JSONL bytes, are therefore bit-identical for any worker count,
+// matching serial execution.
+//
+// Topology reuse: points with resample_graph = false build their graph
+// once (seed replication_seed(master, 1), as before).  Points that
+// additionally share a non-zero `topology_key` AND that derived seed share
+// the single built instance across the whole grid.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/run_record.hpp"
+
+namespace saer {
+
+/// One grid point: a topology factory plus a full experiment config.
+struct SweepPoint {
+  std::string label;     ///< free-form tag echoed into records ("n=4096")
+  GraphFactory factory;
+  ExperimentConfig config;
+  /// Identifies the topology distribution (generator + parameters).  Two
+  /// points with the same non-zero key, resample_graph = false, and the
+  /// same master seed reuse one built graph.  0 disables cross-point reuse.
+  std::uint64_t topology_key = 0;
+};
+
+/// Stable hash for building topology keys from generator name + parameters.
+[[nodiscard]] std::uint64_t topology_cache_key(const std::string& generator,
+                                               std::uint64_t n,
+                                               std::uint64_t extra = 0);
+
+/// Outcome of a single replication.
+struct SweepRun {
+  std::uint32_t point = 0;        ///< index into the grid
+  std::uint32_t replication = 0;
+  std::uint64_t protocol_seed = 0;
+  std::uint64_t graph_seed = 0;
+  std::uint64_t num_servers = 0;
+  double burned_fraction = 0.0;
+  double decay_rate = 0.0;        ///< heavy-stage alive decay (see Aggregate)
+  RunRecord record;               ///< trace kept only with keep_traces
+};
+
+struct SweepResult {
+  std::vector<Aggregate> aggregates;  ///< one per grid point
+  std::vector<SweepRun> runs;         ///< (point, replication) order
+  double wall_seconds = 0.0;
+  unsigned jobs = 0;                  ///< worker count actually used
+};
+
+struct SweepOptions {
+  unsigned jobs = 0;         ///< worker threads; 0 = hardware concurrency
+  std::string csv_path;      ///< stream per-run rows here ("" disables)
+  std::string jsonl_path;    ///< stream per-run JSON objects ("" disables)
+  bool keep_traces = false;  ///< retain per-round traces in SweepResult
+};
+
+class SweepScheduler {
+ public:
+  explicit SweepScheduler(SweepOptions options = {});
+
+  /// Runs every replication of every point; blocks until the grid drains.
+  /// Throws the first task exception (bad parameters, unwritable sink...).
+  [[nodiscard]] SweepResult run(const std::vector<SweepPoint>& grid) const;
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace saer

@@ -1,0 +1,134 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace saer {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  queues_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(state_mutex_);
+    all_idle_.wait(lock, [this] { return pending_ == 0; });
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    // The push must be ordered by state_mutex_: workers evaluate their
+    // "any queue non-empty?" wait predicate under state_mutex_, so a push
+    // outside it could land in an already-scanned queue while the worker is
+    // mid-predicate, and the notify below would fire before the worker
+    // blocks -- a lost wakeup that strands the task.
+    std::lock_guard lock(state_mutex_);
+    ++pending_;
+    const std::size_t target = next_queue_++ % queues_.size();
+    std::lock_guard qlock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::try_pop(unsigned id, std::function<void()>& task) {
+  // Own queue first, oldest task (FIFO keeps single-worker execution in
+  // submission order, which lets ordered sinks downstream flush early) ...
+  {
+    WorkerQueue& own = *queues_[id];
+    std::lock_guard lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  // ... then steal the newest task from the first non-empty victim, so the
+  // thief and the owner contend on opposite ends.
+  const auto n = queues_.size();
+  for (std::size_t step = 1; step < n; ++step) {
+    WorkerQueue& victim = *queues_[(id + step) % n];
+    std::lock_guard lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::run_task(std::function<void()>& task) {
+  std::exception_ptr error;
+  try {
+    task();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  task = nullptr;  // release captures before signalling completion
+  {
+    std::lock_guard lock(state_mutex_);
+    if (error && !first_error_) first_error_ = error;
+    --pending_;
+  }
+  all_idle_.notify_all();
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(id, task)) {
+      run_task(task);
+      continue;
+    }
+    std::unique_lock lock(state_mutex_);
+    if (stopping_) return;
+    // Re-check under the lock: a submit may have raced with the failed pop.
+    work_available_.wait(lock, [this, id] {
+      if (stopping_) return true;
+      for (const auto& q : queues_) {
+        std::lock_guard qlock(q->mutex);
+        if (!q->tasks.empty()) return true;
+      }
+      return false;
+    });
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(state_mutex_);
+  all_idle_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::for_each_index(std::size_t count,
+                                const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunks = std::min<std::size_t>(count, size() * 4u);
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    const std::size_t begin = count * chunk / chunks;
+    const std::size_t end = count * (chunk + 1) / chunks;
+    submit([&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  wait_idle();
+}
+
+}  // namespace saer

@@ -1,0 +1,85 @@
+#pragma once
+// Work-stealing thread pool for coarse-grained task parallelism (whole
+// protocol runs, graph builds).  Complements the OpenMP parallel_for in
+// util/parallel.hpp, which stays responsible for intra-run loops: the pool
+// fans independent replications out across workers while each replication
+// may still use OpenMP internally.
+//
+// Design: one deque per worker.  A worker pops the oldest task from its own
+// deque (FIFO, so a single worker preserves submission order) and steals
+// the newest task from a victim's deque (opposite end, minimizing
+// contention with the owner).  External submissions are distributed
+// round-robin.  Deques are mutex-guarded -- tasks here are milliseconds
+// long, so lock traffic is negligible and the code stays trivially
+// TSan-clean.
+//
+// Correctness does not depend on the schedule: callers give every task its
+// own output slot and all engine randomness is counter-based (util/rng.hpp),
+// so results are bit-identical for any worker count.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace saer {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 picks the hardware concurrency.
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains remaining tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw; a throwing task is captured
+  /// and rethrown from the next wait_idle() call.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including tasks submitted by other
+  /// tasks) has finished.  Rethrows the first captured task exception.
+  /// Must be called from outside the pool: a worker calling wait_idle()
+  /// would wait on its own unfinished task.
+  void wait_idle();
+
+  /// Number of worker threads.
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Runs body(i) for i in [0, count) as `size()`-grained tasks and waits.
+  /// Tasks own disjoint index ranges, so no output synchronization is
+  /// needed when body(i) writes only to slot i.
+  void for_each_index(std::size_t count,
+                      const std::function<void(std::size_t)>& body);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(unsigned id);
+  bool try_pop(unsigned id, std::function<void()>& task);
+  void run_task(std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::size_t pending_ = 0;  ///< submitted but not yet finished
+  std::size_t next_queue_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace saer

@@ -1,0 +1,308 @@
+// Tests for the batched sweep scheduler: determinism across worker counts,
+// equivalence with the serial replication driver, topology caching, and the
+// ordered CSV/JSONL record streams.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "cli/commands.hpp"
+#include "core/metrics.hpp"
+#include "graph/generators.hpp"
+#include "sim/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace saer {
+namespace {
+
+namespace fs = std::filesystem;
+
+GraphFactory regular_factory(NodeId n) {
+  return [n](std::uint64_t seed) { return random_regular(n, 16, seed); };
+}
+
+std::vector<SweepPoint> small_grid() {
+  std::vector<SweepPoint> grid;
+  for (const double c : {1.5, 2.0, 4.0, 8.0}) {
+    for (const Protocol proto : {Protocol::kSaer, Protocol::kRaes}) {
+      SweepPoint point;
+      point.label = to_string(proto) + " c=" + std::to_string(c);
+      point.factory = regular_factory(128);
+      point.config.params.protocol = proto;
+      point.config.params.d = 2;
+      point.config.params.c = c;
+      point.config.replications = 6;
+      point.config.master_seed = 7;
+      point.topology_key = topology_cache_key("regular", 128);
+      grid.push_back(std::move(point));
+    }
+  }
+  return grid;
+}
+
+/// The pre-scheduler serial driver, kept verbatim as the reference the
+/// parallel path must reproduce bit-for-bit.
+Aggregate reference_run_replicated(const GraphFactory& factory,
+                                   const ExperimentConfig& config) {
+  Aggregate agg;
+  std::optional<BipartiteGraph> shared_graph;
+  if (!config.resample_graph)
+    shared_graph = factory(replication_seed(config.master_seed, 1));
+
+  for (std::uint32_t rep = 0; rep < config.replications; ++rep) {
+    const std::uint64_t protocol_seed =
+        replication_seed(config.master_seed, 2ULL * rep);
+    const std::uint64_t graph_seed =
+        replication_seed(config.master_seed, 2ULL * rep + 1);
+
+    std::optional<BipartiteGraph> fresh_graph;
+    if (config.resample_graph) fresh_graph = factory(graph_seed);
+    const BipartiteGraph& graph = fresh_graph ? *fresh_graph : *shared_graph;
+    ProtocolParams params = config.params;
+    params.seed = protocol_seed;
+    const RunResult res = run_protocol(graph, params);
+
+    if (res.completed) {
+      ++agg.completed;
+      agg.rounds.add(static_cast<double>(res.rounds));
+      agg.work_per_ball.add(res.work_per_ball());
+    } else {
+      ++agg.failed;
+    }
+    agg.max_load.add(static_cast<double>(res.max_load));
+    agg.burned_fraction.add(static_cast<double>(res.burned_servers) /
+                            static_cast<double>(graph.num_servers()));
+    const double nd = static_cast<double>(res.total_balls);
+    const auto heavy_threshold =
+        static_cast<std::uint64_t>(nd / std::max(1.0, std::log(nd)));
+    agg.decay_rate.add(alive_decay_rate(res.trace, heavy_threshold));
+  }
+  return agg;
+}
+
+void expect_bitwise_equal(const Aggregate& a, const Aggregate& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  const auto expect_acc = [](const Accumulator& x, const Accumulator& y) {
+    EXPECT_EQ(x.count(), y.count());
+    EXPECT_EQ(x.mean(), y.mean());
+    EXPECT_EQ(x.variance(), y.variance());
+    EXPECT_EQ(x.min(), y.min());
+    EXPECT_EQ(x.max(), y.max());
+  };
+  expect_acc(a.rounds, b.rounds);
+  expect_acc(a.work_per_ball, b.work_per_ball);
+  expect_acc(a.max_load, b.max_load);
+  expect_acc(a.burned_fraction, b.burned_fraction);
+  expect_acc(a.decay_rate, b.decay_rate);
+}
+
+TEST(Sweep, JobsOneAndJobsEightAreBitIdentical) {
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 8;
+  const SweepResult a = SweepScheduler(serial).run(small_grid());
+  const SweepResult b = SweepScheduler(parallel).run(small_grid());
+  EXPECT_EQ(a.jobs, 1u);
+  EXPECT_EQ(b.jobs, 8u);
+  ASSERT_EQ(a.runs.size(), b.runs.size());
+  ASSERT_EQ(a.aggregates.size(), b.aggregates.size());
+  for (std::size_t p = 0; p < a.aggregates.size(); ++p) {
+    expect_bitwise_equal(a.aggregates[p], b.aggregates[p]);
+  }
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    const SweepRun& x = a.runs[i];
+    const SweepRun& y = b.runs[i];
+    EXPECT_EQ(x.point, y.point);
+    EXPECT_EQ(x.replication, y.replication);
+    EXPECT_EQ(x.protocol_seed, y.protocol_seed);
+    EXPECT_EQ(x.graph_seed, y.graph_seed);
+    EXPECT_EQ(x.record.rounds, y.record.rounds);
+    EXPECT_EQ(x.record.work_messages, y.record.work_messages);
+    EXPECT_EQ(x.record.max_load, y.record.max_load);
+    EXPECT_EQ(x.record.burned_servers, y.record.burned_servers);
+    EXPECT_EQ(x.burned_fraction, y.burned_fraction);
+    EXPECT_EQ(x.decay_rate, y.decay_rate);
+  }
+}
+
+TEST(Sweep, StreamedCsvAndJsonlAreBitIdenticalAcrossJobs) {
+  const auto dir = fs::temp_directory_path();
+  const auto read = [](const fs::path& path) {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  std::string first_csv, first_jsonl;
+  for (const unsigned jobs : {1u, 3u, 8u}) {
+    SweepOptions options;
+    options.jobs = jobs;
+    options.csv_path = (dir / "saer_sweep_test.csv").string();
+    options.jsonl_path = (dir / "saer_sweep_test.jsonl").string();
+    (void)SweepScheduler(options).run(small_grid());
+    const std::string csv = read(options.csv_path);
+    const std::string jsonl = read(options.jsonl_path);
+    EXPECT_FALSE(csv.empty());
+    EXPECT_FALSE(jsonl.empty());
+    if (jobs == 1) {
+      first_csv = csv;
+      first_jsonl = jsonl;
+      // header + one row per run
+      EXPECT_EQ(static_cast<std::size_t>(
+                    std::count(csv.begin(), csv.end(), '\n')),
+                1 + 4 * 2 * 6);
+    } else {
+      EXPECT_EQ(csv, first_csv) << "jobs=" << jobs;
+      EXPECT_EQ(jsonl, first_jsonl) << "jobs=" << jobs;
+    }
+  }
+  fs::remove(dir / "saer_sweep_test.csv");
+  fs::remove(dir / "saer_sweep_test.jsonl");
+}
+
+TEST(Sweep, RunReplicatedMatchesPreSchedulerPath) {
+  for (const bool resample : {true, false}) {
+    for (const double c : {1.5, 8.0}) {
+      ExperimentConfig cfg;
+      cfg.params.d = 2;
+      cfg.params.c = c;
+      cfg.replications = 5;
+      cfg.master_seed = 11;
+      cfg.resample_graph = resample;
+      const Aggregate expected =
+          reference_run_replicated(regular_factory(128), cfg);
+      for (const unsigned jobs : {1u, 8u}) {
+        const Aggregate actual =
+            run_replicated(regular_factory(128), cfg, jobs);
+        expect_bitwise_equal(expected, actual);
+      }
+    }
+  }
+}
+
+TEST(Sweep, SharedTopologyBuiltOncePerKeyAndReusedAcrossPoints) {
+  std::atomic<int> builds{0};
+  const GraphFactory counting = [&builds](std::uint64_t) {
+    builds.fetch_add(1);
+    return complete_bipartite(32, 32);
+  };
+  std::vector<SweepPoint> grid;
+  for (int i = 0; i < 3; ++i) {
+    SweepPoint point;
+    point.factory = counting;
+    point.config.params.d = 1;
+    point.config.params.c = 8.0;
+    point.config.replications = 4;
+    point.config.master_seed = 5;
+    point.config.resample_graph = false;
+    point.topology_key = topology_cache_key("complete", 32);
+    grid.push_back(std::move(point));
+  }
+  SweepOptions options;
+  options.jobs = 8;
+  const SweepResult result = SweepScheduler(options).run(grid);
+  EXPECT_EQ(builds.load(), 1);  // one build serves all 3 points x 4 reps
+  EXPECT_EQ(result.runs.size(), 12u);
+}
+
+TEST(Sweep, PrivateKeyZeroBuildsPerPointAndResampleBuildsPerRun) {
+  std::atomic<int> builds{0};
+  const GraphFactory counting = [&builds](std::uint64_t) {
+    builds.fetch_add(1);
+    return complete_bipartite(32, 32);
+  };
+  SweepPoint shared;
+  shared.factory = counting;
+  shared.config.params.c = 8.0;
+  shared.config.replications = 3;
+  shared.config.resample_graph = false;
+  shared.topology_key = 0;  // no cross-point reuse
+  SweepPoint resampled = shared;
+  resampled.config.resample_graph = true;
+  SweepOptions options;
+  options.jobs = 4;
+  (void)SweepScheduler(options).run({shared, shared, resampled});
+  // 2 private shared builds + 3 per-replication builds.
+  EXPECT_EQ(builds.load(), 2 + 3);
+}
+
+TEST(Sweep, KeepTracesControlsRecordTraces) {
+  std::vector<SweepPoint> grid = {small_grid().front()};
+  SweepOptions options;
+  options.jobs = 2;
+  const SweepResult dropped = SweepScheduler(options).run(grid);
+  for (const SweepRun& run : dropped.runs) {
+    EXPECT_TRUE(run.record.trace.empty());
+  }
+  options.keep_traces = true;
+  const SweepResult kept = SweepScheduler(options).run(grid);
+  for (const SweepRun& run : kept.runs) {
+    EXPECT_EQ(run.record.trace.size(), run.record.rounds);
+  }
+}
+
+TEST(Sweep, TaskExceptionPropagates) {
+  SweepPoint point;
+  point.factory = [](std::uint64_t) -> BipartiteGraph {
+    throw std::runtime_error("factory boom");
+  };
+  point.config.replications = 2;
+  SweepOptions options;
+  options.jobs = 2;
+  EXPECT_THROW((void)SweepScheduler(options).run({point}),
+               std::runtime_error);
+}
+
+TEST(Sweep, EmptyGridAndZeroReplicationsAreFine) {
+  const SweepResult empty = SweepScheduler().run({});
+  EXPECT_TRUE(empty.runs.empty());
+  SweepPoint point;
+  point.factory = regular_factory(64);
+  point.config.replications = 0;
+  const SweepResult zero = SweepScheduler().run({point});
+  EXPECT_TRUE(zero.runs.empty());
+  ASSERT_EQ(zero.aggregates.size(), 1u);
+  EXPECT_EQ(zero.aggregates[0].completed + zero.aggregates[0].failed, 0u);
+}
+
+TEST(SweepCli, CommandWritesDeterministicStreams) {
+  const auto dir = fs::temp_directory_path();
+  const auto csv1 = dir / "saer_cli_sweep1.csv";
+  const auto csv8 = dir / "saer_cli_sweep8.csv";
+  const auto run_cmd = [&](const fs::path& csv, const std::string& jobs) {
+    const CliArgs args(std::vector<std::string>{
+        "--topology", "regular", "--sizes", "128,256", "--cs", "1.5,4",
+        "--reps", "4", "--jobs", jobs, "--quiet", "--csv", csv.string()});
+    return cli::cmd_sweep(args);
+  };
+  EXPECT_EQ(run_cmd(csv1, "1"), 0);
+  EXPECT_EQ(run_cmd(csv8, "8"), 0);
+  const auto read = [](const fs::path& path) {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const std::string a = read(csv1);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, read(csv8));
+  fs::remove(csv1);
+  fs::remove(csv8);
+}
+
+TEST(SweepCli, RejectsUnknownProtocol) {
+  const CliArgs args(
+      std::vector<std::string>{"--protocol", "quantum", "--sizes", "64"});
+  EXPECT_EQ(cli::cmd_sweep(args), 2);
+}
+
+}  // namespace
+}  // namespace saer
