@@ -51,6 +51,50 @@ void BM_SaerRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SaerRun)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 14);
 
+// Same runs through one reusable EngineWorkspace: the delta to BM_SaerRun
+// is the per-run buffer allocation cost the workspace amortizes away.
+void BM_SaerRunWorkspace(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const BipartiteGraph& g = cached_regular(n);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 2.0;
+  params.record_trace = false;
+  EngineWorkspace workspace;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    params.seed = ++seed;
+    const RunResult res = run_protocol(g, params, workspace);
+    benchmark::DoNotOptimize(res.max_load);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * 2);
+  state.counters["balls/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n * 2,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SaerRunWorkspace)->Arg(1 << 12)->Arg(1 << 14);
+
+// Sparse tail: c=1.5 stretches completion to ~28 rounds at n=2^14 with a
+// geometrically shrinking alive set -- the regime where the touched-server
+// lists replace the former O(n_servers)-per-round fixed costs.
+void BM_SaerSparseRounds(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const BipartiteGraph& g = cached_regular(n);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 1.5;
+  params.record_trace = false;
+  EngineWorkspace workspace;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    params.seed = ++seed;
+    const RunResult res = run_protocol(g, params, workspace);
+    benchmark::DoNotOptimize(res.rounds);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * 2);
+}
+BENCHMARK(BM_SaerSparseRounds)->Arg(1 << 14);
+
 void BM_RaesRun(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
   const BipartiteGraph& g = cached_regular(n);

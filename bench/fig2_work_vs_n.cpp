@@ -9,6 +9,7 @@
 
 #include "bench_common.hpp"
 #include "sim/figure.hpp"
+#include "sim/sweep.hpp"
 #include "util/stats.hpp"
 
 int main(int argc, char** argv) {
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
   const std::uint64_t seed = args.get_uint("seed", 42);
   const std::string topology = args.get("topology", "regular");
+  const SweepOptions sweep_options = benchfig::sweep_options(args);
   benchfig::reject_unknown_flags(args);
 
   FigureWriter fig(
@@ -34,16 +36,22 @@ int main(int argc, char** argv) {
        "decay_rate", "failures"},
       csv);
 
-  std::vector<double> xs, ys;
+  // Grid: one point per n; the scheduler fans every replication of every
+  // point out at once instead of sweeping the sizes serially.
+  std::vector<SweepPoint> grid;
   for (const std::uint64_t n64 : sizes) {
     const auto n = static_cast<NodeId>(n64);
-    ExperimentConfig cfg;
-    cfg.params.d = d;
-    cfg.params.c = c;
-    cfg.replications = reps;
-    cfg.master_seed = seed;
-    const Aggregate agg =
-        run_replicated(benchfig::make_factory(topology, n), cfg);
+    SweepPoint point = benchfig::make_point(topology, n, reps, seed);
+    point.config.params.d = d;
+    point.config.params.c = c;
+    grid.push_back(std::move(point));
+  }
+  const SweepResult swept = SweepScheduler(sweep_options).run(grid);
+
+  std::vector<double> xs, ys;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::uint64_t n64 = sizes[i];
+    const Aggregate& agg = swept.aggregates[i];
 
     const double balls = static_cast<double>(n64) * d;
     const double messages = agg.work_per_ball.mean() * balls;
@@ -59,6 +67,8 @@ int main(int argc, char** argv) {
     }
   }
   fig.finish();
+  std::printf("sweep: %zu runs in %.3f s (%u jobs)\n", swept.runs.size(),
+              swept.wall_seconds, swept.jobs);
 
   if (xs.size() >= 3) {
     const PowerFit fit = fit_power(xs, ys);

@@ -6,6 +6,9 @@
 //   gamma_t / delta_t                              -- analysis envelopes
 // for a sweep of c values, including one below the interesting range to
 // show the failure mode the hypothesis guards against.
+//
+// The c points run as a SweepScheduler grid sharing one topology build
+// (resample_graph = false + a common topology key), with traces retained.
 
 #include <algorithm>
 #include <cstdio>
@@ -15,6 +18,7 @@
 #include "bench_common.hpp"
 #include "core/engine.hpp"
 #include "sim/figure.hpp"
+#include "sim/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace saer;
@@ -29,20 +33,30 @@ int main(int argc, char** argv) {
   const auto cs = args.get_double_list("cs", {1.2, 2.0, 8.0, 32.0});
   const std::uint64_t seed = args.get_uint("seed", 42);
   const std::string topology = args.get("topology", "regular");
+  SweepOptions sweep_options = benchfig::sweep_options(args);
+  sweep_options.keep_traces = true;  // the whole figure is the trace
   benchfig::reject_unknown_flags(args);
 
-  const BipartiteGraph graph = benchfig::make_factory(topology, n)(seed);
   const std::uint32_t delta = theorem_degree(n);
   const std::uint32_t horizon = analysis_horizon(n);
 
+  // One deep-trace replication per c, all sharing a single graph build.
+  std::vector<SweepPoint> grid;
   for (const double c : cs) {
-    ProtocolParams params;
-    params.d = d;
-    params.c = c;
-    params.seed = seed;
-    params.deep_trace = true;
-    params.max_rounds = horizon + 10;
-    const RunResult res = run_protocol(graph, params);
+    SweepPoint point = benchfig::make_point(topology, n, 1, seed);
+    point.label = "c=" + Table::num(c, 1);
+    point.config.params.d = d;
+    point.config.params.c = c;
+    point.config.params.deep_trace = true;
+    point.config.params.max_rounds = horizon + 10;
+    point.config.resample_graph = false;
+    grid.push_back(std::move(point));
+  }
+  const SweepResult swept = SweepScheduler(sweep_options).run(grid);
+
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const double c = cs[i];
+    const RunRecord& rec = swept.runs[i].record;
 
     const GammaSequence gamma{c, 1.0};
     const std::uint32_t T = stage_boundary_T(c, 1.0, d, delta, n);
@@ -52,14 +66,14 @@ int main(int argc, char** argv) {
     std::snprintf(title, sizeof title,
                   "F3  c=%.1f (capacity %llu, stage boundary T=%u, "
                   "completed=%s in %u rounds)",
-                  c, static_cast<unsigned long long>(params.capacity()), T,
-                  res.completed ? "yes" : "NO", res.rounds);
+                  c, static_cast<unsigned long long>(rec.params.capacity()), T,
+                  rec.completed ? "yes" : "NO", rec.rounds);
     FigureWriter fig(title,
                      {"round", "alive", "S_t", "K_t", "gamma_t", "delta_t",
                       "burned_servers"},
                      csv.empty() ? std::string{}
                                  : csv + ".c" + Table::num(c, 1));
-    for (const RoundStats& r : res.trace) {
+    for (const RoundStats& r : rec.trace) {
       const double g_t =
           r.round < gamma_vals.size() ? gamma_vals[r.round] : 1.0;
       const double d_t = delta_t(r.round, c, d, delta, n);
@@ -73,10 +87,12 @@ int main(int argc, char** argv) {
     fig.finish();
 
     double s_peak = 0;
-    for (const RoundStats& r : res.trace) s_peak = std::max(s_peak, r.s_max);
+    for (const RoundStats& r : rec.trace) s_peak = std::max(s_peak, r.s_max);
     std::printf("peak S_t = %.4f  (Lemma 4 bound: 0.5 for admissible c; "
                 "small c may exceed it)\n",
                 s_peak);
   }
+  std::printf("sweep: %zu runs in %.3f s (%u jobs)\n", swept.runs.size(),
+              swept.wall_seconds, swept.jobs);
   return 0;
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the engine microbenchmarks and emits a machine-readable JSON report
+# (google-benchmark's JSON format: a `context` block plus one entry per
+# benchmark with real_time/cpu_time in ns and the items_per_second rate).
+#
+# Usage:
+#   bench/run_bench.sh [out.json]
+#
+# Environment:
+#   BUILD_DIR        build tree containing bench_engine   (default: build)
+#   BENCH_FILTER     --benchmark_filter regex             (default: engine +
+#                    sweep benchmarks, the perf-gate set)
+#   BENCH_MIN_TIME   --benchmark_min_time value; newer google-benchmark
+#                    releases (>= 1.8) want a unit suffix like "0.2s"
+#                    (default: 0.2)
+#   OMP_NUM_THREADS  pin intra-run OpenMP threads; the checked-in baselines
+#                    are recorded with OMP_NUM_THREADS=1
+#
+# The checked-in BENCH_<PR>.json files at the repo root are snapshots of
+# this script's output, one per PR that moved engine performance, so the
+# perf trajectory is diffable across PRs.
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH.json}"
+FILTER="${BENCH_FILTER:-BM_SaerRun|BM_SaerRunWorkspace|BM_SaerSparseRounds|BM_RaesRun|BM_SweepScheduler}"
+MIN_TIME="${BENCH_MIN_TIME:-0.2}"
+
+BENCH="$BUILD_DIR/bench_engine"
+if [[ ! -x "$BENCH" ]]; then
+  echo "run_bench.sh: $BENCH not found or not executable." >&2
+  echo "Build it first (needs google-benchmark):" >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR --target bench_engine" >&2
+  exit 1
+fi
+
+"$BENCH" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+echo "wrote $OUT"

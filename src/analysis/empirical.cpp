@@ -10,6 +10,7 @@ namespace saer {
 double success_rate(const GraphBuilder& builder, const MinCOptions& options,
                     double c) {
   std::uint32_t successes = 0;
+  EngineWorkspace workspace;  // reused across replications
   for (std::uint32_t rep = 0; rep < options.replications; ++rep) {
     const BipartiteGraph graph =
         builder(replication_seed(options.master_seed, 2ULL * rep + 1));
@@ -20,7 +21,7 @@ double success_rate(const GraphBuilder& builder, const MinCOptions& options,
     params.seed = replication_seed(options.master_seed, 2ULL * rep);
     params.max_rounds = options.max_rounds;
     params.record_trace = false;
-    if (run_protocol(graph, params).completed) ++successes;
+    if (run_protocol(graph, params, workspace).completed) ++successes;
   }
   return static_cast<double>(successes) /
          static_cast<double>(options.replications);

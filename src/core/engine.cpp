@@ -6,8 +6,15 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/workspace.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SAER_PREFETCH(p) __builtin_prefetch(p)
+#else
+#define SAER_PREFETCH(p) ((void)0)
+#endif
 
 namespace saer {
 
@@ -22,7 +29,7 @@ void fetch_max_u64(std::atomic<std::uint64_t>& target, std::uint64_t value) {
 
 /// Deep-trace scan: computes the paper's neighborhood maxima
 /// (Definitions 3, 5, 6) from the per-server round counts and cumulative
-/// received counts. O(E); only runs when deep_trace is requested.
+/// received counts.  O(E); only runs when deep_trace is requested.
 struct DeepMetrics {
   double s_max = 0;
   double k_max = 0;
@@ -33,15 +40,14 @@ DeepMetrics deep_scan(const BipartiteGraph& g,
                       const std::vector<std::atomic<std::uint32_t>>& round_recv,
                       const std::vector<std::uint64_t>& recv_total,
                       const std::vector<std::uint8_t>& burned,
-                      std::uint64_t capacity, std::uint32_t d) {
+                      std::uint64_t capacity) {
   DeepMetrics m;
   std::atomic<std::uint64_t> r_max{0};
-  // Doubles need a CAS-max as well; represent fractions as rationals first:
-  // max of burned_count/deg and recv_cum/(c d deg) compare across different
-  // degrees, so we fall back to a mutex-free reduction via thread-local
-  // maxima folded by parallel_reduce_max.
-  const double cd = static_cast<double>(capacity);
-  (void)d;
+  // K_t(v) normalizes the cumulative received count of N(v) by the capacity
+  // mass capacity * |N(v)| (capacity = round(c*d) already folds d in).  The
+  // two fractional maxima reduce through thread-local maxima folded by
+  // parallel_reduce_max; the integral r_max uses a CAS-max.
+  const double cap = static_cast<double>(capacity);
   m.s_max = parallel_reduce_max(0, g.num_clients(), [&](std::size_t vi) {
     const auto v = static_cast<NodeId>(vi);
     const auto nb = g.client_neighbors(v);
@@ -62,7 +68,7 @@ DeepMetrics deep_scan(const BipartiteGraph& g,
     fetch_max_u64(r_max, rnd);
     return nb.empty() ? 0.0
                       : static_cast<double>(recv) /
-                            (cd * static_cast<double>(nb.size()));
+                            (cap * static_cast<double>(nb.size()));
   });
   m.r_max_neighborhood = r_max.load(std::memory_order_relaxed);
   return m;
@@ -72,12 +78,36 @@ DeepMetrics deep_scan(const BipartiteGraph& g,
 
 namespace {
 
+/// Chunk count for the ball-side passes: one contiguous index range per
+/// chunk, each with its own output buffer.  Concatenating per-chunk outputs
+/// in chunk order reproduces the serial (ball-index) order for ANY chunk
+/// count, so the partition only affects speed, never results.
+std::size_t round_chunks(std::size_t m) {
+  constexpr std::size_t kMinGrain = 1024;  // don't split tiny rounds
+  const auto threads = static_cast<std::size_t>(configured_threads());
+  if (threads <= 1 || m < 2 * kMinGrain) return 1;
+  return std::min(threads, m / kMinGrain);
+}
+
 /// Shared round loop: `ball_client[b]` maps ball ids to owning clients;
 /// works for both the uniform-d and heterogeneous-demand entry points.
+///
+/// Output-sensitive: in sparse rounds (alive count below a fraction of
+/// n_servers) Phase 1 records the deduplicated set of servers that received
+/// at least one ball (the first ball to increment a server's round counter
+/// appends it to its chunk's touch list), and every server-side pass of the
+/// round -- acceptance, counter reset, r_max -- visits only that set.  Late
+/// rounds therefore cost O(alive + touched), matching the paper's
+/// geometrically shrinking alive set, instead of O(n_servers).  Dense
+/// rounds keep the sequential full scan, which beats scattered accesses
+/// when most servers are touched anyway.  Which chunk list a server lands
+/// in depends on thread timing, but the union is exact and per-server work
+/// is independent with commutative integer reductions, so results are
+/// bit-identical for either path and any thread count.
 RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
-                     const std::vector<NodeId>& ball_client) {
+                     const std::vector<NodeId>& ball_client,
+                     EngineWorkspace& ws) {
   const NodeId n_servers = graph.num_servers();
-  const std::uint32_t d = params.d;
   const std::uint64_t cap = params.capacity();
   const std::uint64_t total_balls = ball_client.size();
   const std::uint32_t max_rounds =
@@ -90,71 +120,143 @@ RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
 
   const CounterRng rng(params.seed);
 
-  std::vector<BallId> alive(total_balls);
+  ws.ensure(n_servers, total_balls);
+  std::vector<BallId>& alive = ws.alive;
+  std::vector<BallId>& next_alive = ws.next_alive;
+  std::vector<NodeId>& target = ws.target;
+  std::vector<std::atomic<std::uint32_t>>& round_recv = ws.round_recv;
+  std::vector<std::uint64_t>& recv_total = ws.recv_total;
+  std::vector<std::uint32_t>& accepted = ws.accepted;
+  std::vector<std::uint8_t>& burned = ws.burned;
+  std::vector<std::uint8_t>& accept_flag = ws.accept_flag;
+  std::vector<NodeId>& touched = ws.touched;
+
+  alive.resize(total_balls);
   std::iota(alive.begin(), alive.end(), BallId{0});
-  std::vector<BallId> next_alive;
-  next_alive.reserve(total_balls);
-  std::vector<NodeId> target(total_balls);
 
-  std::vector<std::atomic<std::uint32_t>> round_recv(n_servers);
-  std::vector<std::uint64_t> recv_total(n_servers, 0);
-  std::vector<std::uint32_t> accepted(n_servers, 0);
-  std::vector<std::uint8_t> burned(n_servers, 0);
-  std::vector<std::uint8_t> accept_flag(n_servers, 0);
+  // A round is "sparse" when the alive set is small enough that visiting
+  // only touched servers (scattered accesses + touch-list upkeep) beats the
+  // sequential full scans.  The verdict, reset, and r_max work is the same
+  // either way, so the threshold affects speed only, never results.
+  const auto sparse_threshold = static_cast<std::size_t>(n_servers / 8);
 
+  bool used_dense = false;
+  std::uint64_t burned_total = 0;
   std::uint32_t round = 0;
   while (!alive.empty() && round < max_rounds) {
     ++round;
     const std::size_t m = alive.size();
+    const bool sparse = m < sparse_threshold;
+    const std::size_t n_chunks = round_chunks(m);
+    const std::size_t chunk_size = (m + n_chunks - 1) / n_chunks;
+    ws.prepare_chunks(n_chunks);
 
     // Phase 1: every alive ball contacts a uniform random neighbor of its
     // client (independent, with replacement -- Algorithm 1, lines 2-5).
-    parallel_for(0, m, [&](std::size_t i) {
-      const BallId b = alive[i];
-      const NodeId v = ball_client[b];
-      const std::uint32_t deg = graph.client_degree(v);
-      const std::uint64_t k = rng.bounded(b, round, deg);
-      const NodeId u = graph.client_neighbor(v, k);
-      target[i] = u;
-      round_recv[u].fetch_add(1, std::memory_order_relaxed);
+    // In sparse rounds the ball that takes a server's round counter from 0
+    // to 1 records the server in its chunk's touch list, so the union of
+    // the lists is the exact set of servers with round_recv > 0, each
+    // listed once.
+    parallel_for(0, n_chunks, [&](std::size_t ci) {
+      std::vector<NodeId>& touch = ws.touched_chunks[ci];
+      touch.clear();
+      const std::size_t lo = ci * chunk_size;
+      const std::size_t hi = std::min(m, lo + chunk_size);
+      // Software-pipelined in blocks: the adjacency lookup is a
+      // data-dependent random access into O(E) memory and dominates the
+      // pass, so a first sweep computes and prefetches the target
+      // addresses while a second sweep consumes them.  Identical draws,
+      // identical counters -- only the memory schedule changes.
+      constexpr std::size_t kBlock = 192;
+      const NodeId* addr[kBlock];
+      for (std::size_t blo = lo; blo < hi; blo += kBlock) {
+        const std::size_t len = std::min(kBlock, hi - blo);
+        for (std::size_t j = 0; j < len; ++j) {
+          const BallId b = alive[blo + j];
+          const NodeId v = ball_client[b];
+          const std::uint32_t deg = graph.client_degree(v);
+          const std::uint64_t k = rng.bounded(b, round, deg);
+          addr[j] = graph.client_neighbors(v).data() + k;
+          SAER_PREFETCH(addr[j]);
+        }
+        for (std::size_t j = 0; j < len; ++j) {
+          const NodeId u = *addr[j];
+          target[blo + j] = u;
+          if (round_recv[u].fetch_add(1, std::memory_order_relaxed) == 0 &&
+              sparse) {
+            touch.push_back(u);
+          }
+        }
+      }
     });
 
-    // Phase 2: servers accept or reject the whole round
-    // (Algorithm 1, lines 6-17).
+    std::size_t touched_count = 0;
+    if (sparse) {
+      // Merge the chunk lists and extend the run-lifetime dirty set
+      // (servers whose counters must be re-zeroed before workspace reuse).
+      touched.clear();
+      for (std::size_t ci = 0; ci < n_chunks; ++ci) {
+        const std::vector<NodeId>& touch = ws.touched_chunks[ci];
+        for (const NodeId u : touch) {
+          if (recv_total[u] == 0) ws.dirty.push_back(u);
+        }
+        touched.insert(touched.end(), touch.begin(), touch.end());
+      }
+      touched_count = touched.size();
+    } else {
+      used_dense = true;
+    }
+
+    // Phase 2: servers accept or reject the whole round (Algorithm 1,
+    // lines 6-17).  The acceptance rule for one server is identical in
+    // both paths; sparse rounds just skip servers that received nothing
+    // (no ball will read their verdict).
     std::atomic<std::uint64_t> newly_burned{0};
     std::atomic<std::uint64_t> saturated{0};
     std::atomic<std::uint64_t> accepted_round{0};
     std::atomic<std::uint64_t> r_max_server{0};
-    parallel_for(0, n_servers, [&](std::size_t ui) {
-      const std::uint32_t rr = round_recv[ui].load(std::memory_order_relaxed);
+    const auto serve = [&](NodeId ui, std::uint32_t rr) {
       std::uint8_t flag = 0;
-      if (rr != 0) {
-        recv_total[ui] += rr;  // counts toward Definition 3 regardless of verdict
-        fetch_max_u64(r_max_server, rr);
-        if (params.protocol == Protocol::kSaer) {
-          if (burned[ui]) {
-            saturated.fetch_add(1, std::memory_order_relaxed);
-          } else if (recv_total[ui] > cap) {
-            burned[ui] = 1;
-            newly_burned.fetch_add(1, std::memory_order_relaxed);
-            saturated.fetch_add(1, std::memory_order_relaxed);
-          } else {
-            accepted[ui] += rr;
-            accepted_round.fetch_add(rr, std::memory_order_relaxed);
-            flag = 1;
-          }
-        } else {  // RAES: reject only if accepting would exceed capacity
-          if (accepted[ui] + rr > cap) {
-            saturated.fetch_add(1, std::memory_order_relaxed);
-          } else {
-            accepted[ui] += rr;
-            accepted_round.fetch_add(rr, std::memory_order_relaxed);
-            flag = 1;
-          }
+      recv_total[ui] += rr;  // counts toward Definition 3 regardless of verdict
+      fetch_max_u64(r_max_server, rr);
+      if (params.protocol == Protocol::kSaer) {
+        if (burned[ui]) {
+          saturated.fetch_add(1, std::memory_order_relaxed);
+        } else if (recv_total[ui] > cap) {
+          burned[ui] = 1;
+          newly_burned.fetch_add(1, std::memory_order_relaxed);
+          saturated.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          accepted[ui] += rr;
+          accepted_round.fetch_add(rr, std::memory_order_relaxed);
+          flag = 1;
+        }
+      } else {  // RAES: reject only if accepting would exceed capacity
+        if (accepted[ui] + rr > cap) {
+          saturated.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          accepted[ui] += rr;
+          accepted_round.fetch_add(rr, std::memory_order_relaxed);
+          flag = 1;
         }
       }
       accept_flag[ui] = flag;
-    });
+    };
+    if (sparse) {
+      parallel_for(0, touched_count, [&](std::size_t ti) {
+        const NodeId ui = touched[ti];
+        serve(ui, round_recv[ui].load(std::memory_order_relaxed));
+      });
+    } else {
+      parallel_for(0, n_servers, [&](std::size_t ui) {
+        const std::uint32_t rr = round_recv[ui].load(std::memory_order_relaxed);
+        if (rr != 0) {
+          serve(static_cast<NodeId>(ui), rr);
+        } else {
+          accept_flag[ui] = 0;
+        }
+      });
+    }
 
     RoundStats stats;
     stats.round = round;
@@ -165,46 +267,79 @@ RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
     stats.saturated = saturated.load();
     stats.r_max_server = r_max_server.load();
     res.work_messages += 2 * static_cast<std::uint64_t>(m);
+    burned_total += stats.newly_burned;
+    stats.burned_total = burned_total;
 
     if (params.deep_trace) {
       const DeepMetrics dm =
-          deep_scan(graph, round_recv, recv_total, burned, cap, d);
+          deep_scan(graph, round_recv, recv_total, burned, cap);
       stats.s_max = dm.s_max;
       stats.k_max = dm.k_max;
       stats.r_max_neighborhood = dm.r_max_neighborhood;
     }
 
     // Phase 2 epilogue: clients read the Boolean verdicts
-    // (Algorithm 1, lines 18-23).
-    next_alive.clear();
-    for (std::size_t i = 0; i < m; ++i) {
-      const BallId b = alive[i];
-      const NodeId u = target[i];
-      if (accept_flag[u]) {
-        res.assignment[b] = u;
-      } else {
-        next_alive.push_back(b);
+    // (Algorithm 1, lines 18-23).  Chunks emit survivors into their own
+    // buffer; concatenation in chunk order equals the ball-index order.
+    parallel_for(0, n_chunks, [&](std::size_t ci) {
+      std::vector<BallId>& survivors = ws.alive_chunks[ci];
+      survivors.clear();
+      const std::size_t lo = ci * chunk_size;
+      const std::size_t hi = std::min(m, lo + chunk_size);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const BallId b = alive[i];
+        const NodeId u = target[i];
+        if (accept_flag[u]) {
+          res.assignment[b] = u;
+        } else {
+          survivors.push_back(b);
+        }
       }
+    });
+    next_alive.clear();
+    for (std::size_t ci = 0; ci < n_chunks; ++ci) {
+      const std::vector<BallId>& survivors = ws.alive_chunks[ci];
+      next_alive.insert(next_alive.end(), survivors.begin(), survivors.end());
     }
     alive.swap(next_alive);
 
-    parallel_for(0, n_servers, [&](std::size_t ui) {
-      round_recv[ui].store(0, std::memory_order_relaxed);
-    });
+    // Reset the round counters: only touched servers are non-zero.
+    if (sparse) {
+      parallel_for(0, touched_count, [&](std::size_t ti) {
+        round_recv[touched[ti]].store(0, std::memory_order_relaxed);
+      });
+    } else {
+      parallel_for(0, n_servers, [&](std::size_t ui) {
+        round_recv[ui].store(0, std::memory_order_relaxed);
+      });
+    }
 
-    stats.burned_total = static_cast<std::uint64_t>(
-        std::count(burned.begin(), burned.end(), std::uint8_t{1}));
     if (params.record_trace) res.trace.push_back(stats);
   }
 
   res.completed = alive.empty();
   res.rounds = round;
   res.alive_balls = alive.size();
-  res.loads.assign(accepted.begin(), accepted.end());
+  res.loads.assign(accepted.begin(), accepted.begin() + n_servers);
   for (std::uint32_t load : res.loads)
     res.max_load = std::max<std::uint64_t>(res.max_load, load);
-  res.burned_servers = static_cast<std::uint64_t>(
-      std::count(burned.begin(), burned.end(), std::uint8_t{1}));
+  res.burned_servers = burned_total;
+
+  // Restore the workspace's pristine invariant: round_recv is already zero
+  // (reset every round), so only the cumulative state remains.  Dense
+  // rounds don't track dirty servers, so any dense round forces the
+  // sequential full clear; all-sparse runs pay only O(dirty).
+  if (used_dense) {
+    std::fill(recv_total.begin(), recv_total.begin() + n_servers, 0);
+    std::fill(accepted.begin(), accepted.begin() + n_servers, 0);
+    std::fill(burned.begin(), burned.begin() + n_servers, 0);
+  } else {
+    for (const NodeId u : ws.dirty) {
+      recv_total[u] = 0;
+      accepted[u] = 0;
+      burned[u] = 0;
+    }
+  }
   return res;
 }
 
@@ -303,22 +438,36 @@ void require_reachable(const BipartiteGraph& graph,
 
 }  // namespace
 
-RunResult run_protocol(const BipartiteGraph& graph, const ProtocolParams& params) {
+RunResult run_protocol(const BipartiteGraph& graph, const ProtocolParams& params,
+                       EngineWorkspace& workspace) {
   params.validate();
   const std::vector<NodeId> ball_client =
       uniform_ball_clients(graph.num_clients(), params.d);
   require_reachable(graph, ball_client);
-  return run_rounds(graph, params, ball_client);
+  return run_rounds(graph, params, ball_client, workspace);
+}
+
+RunResult run_protocol(const BipartiteGraph& graph, const ProtocolParams& params) {
+  EngineWorkspace workspace;
+  return run_protocol(graph, params, workspace);
+}
+
+RunResult run_protocol_demands(const BipartiteGraph& graph,
+                               const ProtocolParams& params,
+                               const std::vector<std::uint32_t>& demands,
+                               EngineWorkspace& workspace) {
+  params.validate();
+  const std::vector<NodeId> ball_client =
+      demand_ball_clients(graph, params, demands);
+  require_reachable(graph, ball_client);
+  return run_rounds(graph, params, ball_client, workspace);
 }
 
 RunResult run_protocol_demands(const BipartiteGraph& graph,
                                const ProtocolParams& params,
                                const std::vector<std::uint32_t>& demands) {
-  params.validate();
-  const std::vector<NodeId> ball_client =
-      demand_ball_clients(graph, params, demands);
-  require_reachable(graph, ball_client);
-  return run_rounds(graph, params, ball_client);
+  EngineWorkspace workspace;
+  return run_protocol_demands(graph, params, demands, workspace);
 }
 
 void check_result(const BipartiteGraph& graph, const ProtocolParams& params,

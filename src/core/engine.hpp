@@ -7,8 +7,10 @@
 //
 //   pass 1 (balls):   every alive ball samples a uniform neighbor of its
 //                     client and increments that server's round counter;
-//   pass 2 (servers): every server applies the SAER or RAES acceptance rule
-//                     to its round count and publishes accept/reject;
+//   pass 2 (servers): every server that received a ball this round (the
+//                     "touched" set, recorded during pass 1) applies the
+//                     SAER or RAES acceptance rule and publishes its
+//                     verdict -- untouched servers are never visited;
 //   pass 3 (balls):   every alive ball reads its target's verdict; accepted
 //                     balls record their server, rejected ones stay alive.
 //
@@ -16,8 +18,22 @@
 // pure function of (graph, params) -- independent of thread count and
 // schedule.  This both makes runs reproducible and is faithful to the model:
 // clients draw independently either way.
+//
+// Workspace reuse + determinism contract
+// --------------------------------------
+// Every overload that takes an EngineWorkspace (core/workspace.hpp) runs in
+// the caller's scratch buffers and performs no O(n)-sized allocation of its
+// own; the overloads without one allocate a fresh workspace per call.  The
+// two paths -- and any sequence of runs through one reused workspace, in
+// any size or protocol order -- produce bit-identical RunResults for every
+// thread count: the sparse touched-server bookkeeping only changes which
+// servers are *visited*, never what is computed for them, and all parallel
+// reductions are exact (integer adds and maxes; per-ball and per-server
+// state is disjoint).  Golden-hash tests (tests/test_golden_hash.cpp) pin
+// this contract.
 
 #include "core/protocol.hpp"
+#include "core/workspace.hpp"
 #include "graph/bipartite_graph.hpp"
 
 namespace saer {
@@ -26,6 +42,13 @@ namespace saer {
 /// std::invalid_argument on bad params or a client with empty neighborhood.
 [[nodiscard]] RunResult run_protocol(const BipartiteGraph& graph,
                                      const ProtocolParams& params);
+
+/// As above, but runs in the caller's reusable workspace (no per-run
+/// allocation once the workspace has grown to the largest run it has seen).
+/// The workspace must not be shared by concurrent runs.
+[[nodiscard]] RunResult run_protocol(const BipartiteGraph& graph,
+                                     const ProtocolParams& params,
+                                     EngineWorkspace& workspace);
 
 /// General request-number case (Section 2.2: "the analysis of the general
 /// case (<= d) is in fact similar"): client v starts with demands[v] balls,
@@ -36,6 +59,11 @@ namespace saer {
 [[nodiscard]] RunResult run_protocol_demands(
     const BipartiteGraph& graph, const ProtocolParams& params,
     const std::vector<std::uint32_t>& demands);
+
+/// Heterogeneous demands in a caller-provided workspace (see run_protocol).
+[[nodiscard]] RunResult run_protocol_demands(
+    const BipartiteGraph& graph, const ProtocolParams& params,
+    const std::vector<std::uint32_t>& demands, EngineWorkspace& workspace);
 
 /// Audit for heterogeneous-demand runs (same checks as check_result but with
 /// the per-client ball offsets implied by `demands`).

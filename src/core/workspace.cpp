@@ -1,0 +1,47 @@
+#include "core/workspace.hpp"
+
+namespace saer {
+
+void EngineWorkspace::ensure(NodeId n_servers, std::uint64_t total_balls) {
+  if (round_recv.size() < n_servers) {
+    // vector<atomic> cannot grow in place (atomics are immovable); every
+    // counter is zero between runs, so reconstructing value-initialized
+    // atomics preserves the pristine invariant.
+    round_recv = std::vector<std::atomic<std::uint32_t>>(n_servers);
+    recv_total.resize(n_servers, 0);
+    accepted.resize(n_servers, 0);
+    burned.resize(n_servers, 0);
+    accept_flag.resize(n_servers, 0);
+  }
+  if (target.size() < total_balls) target.resize(total_balls);
+  alive.clear();
+  next_alive.clear();
+  next_alive.reserve(total_balls);
+  touched.clear();
+  dirty.clear();
+}
+
+void EngineWorkspace::prepare_chunks(std::size_t chunks) {
+  if (touched_chunks.size() < chunks) touched_chunks.resize(chunks);
+  if (alive_chunks.size() < chunks) alive_chunks.resize(chunks);
+}
+
+std::unique_ptr<EngineWorkspace> WorkspacePool::acquire() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!free_.empty()) {
+      std::unique_ptr<EngineWorkspace> workspace = std::move(free_.back());
+      free_.pop_back();
+      return workspace;
+    }
+  }
+  return std::make_unique<EngineWorkspace>();
+}
+
+void WorkspacePool::release(std::unique_ptr<EngineWorkspace> workspace) {
+  if (!workspace) return;
+  std::lock_guard lock(mutex_);
+  free_.push_back(std::move(workspace));
+}
+
+}  // namespace saer

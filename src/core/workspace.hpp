@@ -1,0 +1,97 @@
+#pragma once
+// Reusable per-run scratch space for the round engine (core/engine.cpp).
+//
+// A protocol run needs five O(n_servers) arrays, three O(total_balls)
+// arrays, and the sparse touch-list buffers of the output-sensitive round
+// loop.  Allocating (and zero-initializing) these per run dominates the
+// cost of short runs, so callers that execute many runs -- the sweep
+// scheduler, replicated experiments, benchmarks -- construct one
+// EngineWorkspace and pass it to the run_protocol overloads that accept it.
+// `ensure` only grows the buffers, so a workspace serves runs of any mix of
+// sizes without reallocation once it has seen the largest one.
+//
+// Invariant ("pristine"): between runs every server-side counter
+// (round_recv, recv_total, accepted, burned) is zero.  The engine restores
+// the invariant on exit by clearing exactly the servers it touched (the
+// `dirty` list), so cleanup is proportional to the run's footprint, not to
+// n_servers.  accept_flag carries no cross-round state: the engine writes a
+// server's flag in every round that targets it before any ball reads it.
+//
+// A workspace must not be used by two runs concurrently.  For task-parallel
+// callers, WorkspacePool hands out at most one workspace per in-flight
+// task (so at most one per pool worker) and recycles them.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace saer {
+
+struct EngineWorkspace {
+  EngineWorkspace() = default;
+  EngineWorkspace(const EngineWorkspace&) = delete;
+  EngineWorkspace& operator=(const EngineWorkspace&) = delete;
+
+  /// Grows the buffers to cover a run of the given shape and clears the
+  /// per-run lists.  Newly exposed server entries are zero, and previously
+  /// used entries are zero by the pristine invariant, so this never does an
+  /// O(n_servers) fill after the first growth.
+  void ensure(NodeId n_servers, std::uint64_t total_balls);
+
+  /// Ensures `chunks` per-chunk buffers exist for the round loop.
+  void prepare_chunks(std::size_t chunks);
+
+  // Server-side state (indexed by server id; zero between runs).
+  std::vector<std::atomic<std::uint32_t>> round_recv;  ///< balls this round
+  std::vector<std::uint64_t> recv_total;  ///< cumulative received (Def. 3)
+  std::vector<std::uint32_t> accepted;    ///< accepted balls (the load)
+  std::vector<std::uint8_t> burned;       ///< SAER burn bit
+  std::vector<std::uint8_t> accept_flag;  ///< this round's verdict
+
+  // Ball-side state (indexed by alive position).
+  std::vector<BallId> alive;
+  std::vector<BallId> next_alive;
+  std::vector<NodeId> target;  ///< server contacted this round
+
+  // Sparse round bookkeeping.
+  std::vector<NodeId> touched;  ///< dedup'd servers hit this round
+  std::vector<NodeId> dirty;    ///< dedup'd servers hit at least once this run
+  std::vector<std::vector<NodeId>> touched_chunks;  ///< per-chunk touch lists
+  std::vector<std::vector<BallId>> alive_chunks;    ///< per-chunk survivors
+};
+
+/// Mutex-guarded free list of workspaces for task-parallel callers (one
+/// lock op per run; runs are milliseconds, so contention is negligible).
+/// Acquire via WorkspaceLease; at most one workspace exists per task that
+/// ever ran concurrently, so a pool drained by N workers holds at most N.
+class WorkspacePool {
+ public:
+  [[nodiscard]] std::unique_ptr<EngineWorkspace> acquire();
+  void release(std::unique_ptr<EngineWorkspace> workspace);
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<EngineWorkspace>> free_;
+};
+
+/// RAII lease: takes a workspace from the pool, returns it on destruction.
+class WorkspaceLease {
+ public:
+  explicit WorkspaceLease(WorkspacePool& pool)
+      : pool_(pool), workspace_(pool.acquire()) {}
+  ~WorkspaceLease() { pool_.release(std::move(workspace_)); }
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+  [[nodiscard]] EngineWorkspace& operator*() const { return *workspace_; }
+
+ private:
+  WorkspacePool& pool_;
+  std::unique_ptr<EngineWorkspace> workspace_;
+};
+
+}  // namespace saer

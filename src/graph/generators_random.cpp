@@ -52,14 +52,25 @@ BipartiteGraph random_regular(NodeId n, std::uint32_t delta, std::uint64_t seed)
   if (delta == n) return complete_bipartite(n, n);  // unique delta-regular graph
   Xoshiro256ss rng(seed);
 
-  // matchings[m][v] = server matched to client v in the m-th matching.
-  std::vector<std::vector<NodeId>> matchings(delta);
+  // servers[v*delta + m] = server matched to client v in the m-th matching.
+  // Client-major layout: the repair pass below scans one client's row per
+  // query, so the row must be contiguous (the former matching-major layout
+  // made every repair query touch delta cache lines and dominated the
+  // build).  Each matching is still sampled as an independent shuffle of
+  // the identity, drawing the same RNG sequence as before.
+  std::vector<NodeId> servers(static_cast<std::size_t>(n) * delta);
   std::vector<NodeId> identity(n);
   std::iota(identity.begin(), identity.end(), NodeId{0});
-  for (auto& m : matchings) {
-    m = identity;
-    shuffle_ids(m, rng);
+  std::vector<NodeId> perm(n);
+  for (std::uint32_t m = 0; m < delta; ++m) {
+    perm = identity;
+    shuffle_ids(perm, rng);
+    for (NodeId v = 0; v < n; ++v)
+      servers[static_cast<std::size_t>(v) * delta + m] = perm[v];
   }
+  const auto row = [&](NodeId v) {
+    return servers.data() + static_cast<std::size_t>(v) * delta;
+  };
 
   // Repair pass: a "conflict" is client v appearing with the same server in
   // two matchings.  Swapping v's server in matching m with another client
@@ -71,12 +82,13 @@ BipartiteGraph random_regular(NodeId n, std::uint32_t delta, std::uint64_t seed)
   // each is fixed in O(delta) expected time, so repair is cheap next to the
   // O(n*delta) shuffles above.
   auto client_has_elsewhere = [&](NodeId v, std::uint32_t m, NodeId server) {
+    const NodeId* r = row(v);
     for (std::uint32_t o = 0; o < delta; ++o)
-      if (o != m && matchings[o][v] == server) return true;
+      if (o != m && r[o] == server) return true;
     return false;
   };
   auto has_conflict = [&](NodeId v, std::uint32_t m) {
-    return client_has_elsewhere(v, m, matchings[m][v]);
+    return client_has_elsewhere(v, m, row(v)[m]);
   };
 
   std::vector<std::pair<NodeId, std::uint32_t>> queue;
@@ -88,10 +100,11 @@ BipartiteGraph random_regular(NodeId n, std::uint32_t delta, std::uint64_t seed)
     std::uint32_t epoch = 0;
     for (NodeId v = 0; v < n; ++v) {
       ++epoch;
+      const NodeId* r = row(v);
       for (std::uint32_t m = 0; m < delta; ++m) {
-        const NodeId s = matchings[m][v];
+        const NodeId s = r[m];
         if (stamp[s] == epoch) {
-          queue.emplace_back(v, m);  // duplicate of matchings[first[s]][v]
+          queue.emplace_back(v, m);  // duplicate of row(v)[first[s]]
         } else {
           stamp[s] = epoch;
           first[s] = m;
@@ -112,28 +125,32 @@ BipartiteGraph random_regular(NodeId n, std::uint32_t delta, std::uint64_t seed)
     for (int attempt = 0; attempt < 256 && !fixed; ++attempt) {
       const auto w = static_cast<NodeId>(rng.bounded(n));
       if (w == v) continue;
-      const NodeId sv = matchings[m][v];
-      const NodeId sw = matchings[m][w];
+      const NodeId sv = row(v)[m];
+      const NodeId sw = row(w)[m];
       if (sv == sw) continue;
       if (client_has_elsewhere(v, m, sw) || client_has_elsewhere(w, m, sv))
         continue;  // swap would not be safe
-      std::swap(matchings[m][v], matchings[m][w]);
+      std::swap(row(v)[m], row(w)[m]);
       fixed = true;
     }
     if (!fixed) {
       // Shake: unsafe swap with a random partner; both ends are requeued
       // because either may now conflict.
       const auto w = static_cast<NodeId>(rng.bounded(n));
-      if (w != v) std::swap(matchings[m][v], matchings[m][w]);
+      if (w != v) std::swap(row(v)[m], row(w)[m]);
       queue.emplace_back(v, m);
       queue.emplace_back(w, m);
     }
   }
 
+  // Emission order is client-major; from_edges sorts by (client, server),
+  // so the graph is identical to the former matching-major emission.
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(n) * delta);
-  for (std::uint32_t m = 0; m < delta; ++m)
-    for (NodeId v = 0; v < n; ++v) edges.push_back({v, matchings[m][v]});
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId* r = row(v);
+    for (std::uint32_t m = 0; m < delta; ++m) edges.push_back({v, r[m]});
+  }
   return BipartiteGraph::from_edges(n, n, std::move(edges));
 }
 

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "core/metrics.hpp"
+#include "core/workspace.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -200,6 +201,9 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
   }
 
   // Phase 2: every replication is an independent task writing its own slot.
+  // Tasks lease engine workspaces from a shared pool, so at most one
+  // workspace exists per worker and replications allocate no run buffers.
+  WorkspacePool workspaces;
   const bool keep_traces = options_.keep_traces;
   for (std::size_t p = 0; p < grid.size(); ++p) {
     const SweepPoint& point = grid[p];
@@ -207,7 +211,8 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
     for (std::uint32_t rep = 0; rep < point.config.replications; ++rep) {
       const std::size_t index = offsets[p] + rep;
       SweepRun& slot = result.runs[index];
-      pool.submit([&point, &slot, &sink, shared, p, rep, index, keep_traces] {
+      pool.submit([&point, &slot, &sink, &workspaces, shared, p, rep, index,
+                   keep_traces] {
         const std::uint64_t protocol_seed =
             replication_seed(point.config.master_seed, 2ULL * rep);
         const std::uint64_t graph_seed =
@@ -219,7 +224,8 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
 
         ProtocolParams params = point.config.params;
         params.seed = protocol_seed;
-        const RunResult res = run_protocol(graph, params);
+        const WorkspaceLease lease(workspaces);
+        const RunResult res = run_protocol(graph, params, *lease);
 
         slot.point = static_cast<std::uint32_t>(p);
         slot.replication = rep;

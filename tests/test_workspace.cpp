@@ -1,0 +1,149 @@
+// EngineWorkspace: reuse across runs of different sizes, protocols, and
+// entry points must be observationally identical to fresh-workspace runs,
+// and the pool must recycle workspaces.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/engine.hpp"
+#include "core/workspace.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace saer {
+namespace {
+
+void expect_same_result(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_balls, b.total_balls);
+  EXPECT_EQ(a.alive_balls, b.alive_balls);
+  EXPECT_EQ(a.work_messages, b.work_messages);
+  EXPECT_EQ(a.max_load, b.max_load);
+  EXPECT_EQ(a.burned_servers, b.burned_servers);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.loads, b.loads);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].accepted, b.trace[i].accepted) << "round " << i;
+    EXPECT_EQ(a.trace[i].burned_total, b.trace[i].burned_total) << "round " << i;
+    EXPECT_EQ(a.trace[i].r_max_server, b.trace[i].r_max_server) << "round " << i;
+  }
+}
+
+TEST(Workspace, ReuseAcrossMixedSizesMatchesFreshRuns) {
+  // One workspace through shrinking, growing, and protocol changes: every
+  // run must match a fresh-workspace run bit for bit.  The sequence forces
+  // the pristine invariant to hold after big runs (dense rounds, full
+  // clears) and small runs (sparse rounds, dirty-list clears) alike.
+  struct Case {
+    NodeId n;
+    std::uint64_t graph_seed;
+    Protocol protocol;
+    std::uint32_t d;
+    double c;
+    std::uint64_t seed;
+  };
+  const Case cases[] = {
+      {512, 1, Protocol::kSaer, 2, 2.0, 11},
+      {64, 2, Protocol::kSaer, 2, 1.5, 12},   // shrink
+      {1024, 3, Protocol::kRaes, 3, 2.0, 13}, // grow + protocol switch
+      {64, 2, Protocol::kSaer, 2, 1.2, 14},   // shrink again, heavy burning
+      {512, 1, Protocol::kSaer, 2, 2.0, 11},  // repeat of the first case
+  };
+
+  EngineWorkspace workspace;
+  for (const Case& it : cases) {
+    const BipartiteGraph g = testing::theorem_graph(it.n, it.graph_seed);
+    ProtocolParams params;
+    params.protocol = it.protocol;
+    params.d = it.d;
+    params.c = it.c;
+    params.seed = it.seed;
+    const RunResult reused = run_protocol(g, params, workspace);
+    const RunResult fresh = run_protocol(g, params);
+    expect_same_result(reused, fresh);
+    check_result(g, params, reused);
+  }
+}
+
+TEST(Workspace, ReuseCoversDemandsEntryPoint) {
+  const BipartiteGraph g = testing::theorem_graph(256, 7);
+  ProtocolParams params;
+  params.d = 3;
+  params.c = 2.0;
+  params.seed = 99;
+  std::vector<std::uint32_t> demands(g.num_clients());
+  for (NodeId v = 0; v < g.num_clients(); ++v) demands[v] = v % 4;
+
+  EngineWorkspace workspace;
+  // Dirty the workspace with a uniform run first.
+  (void)run_protocol(g, params, workspace);
+  const RunResult reused = run_protocol_demands(g, params, demands, workspace);
+  const RunResult fresh = run_protocol_demands(g, params, demands);
+  expect_same_result(reused, fresh);
+  check_result_demands(g, params, demands, reused);
+}
+
+TEST(Workspace, DeepTraceRunsLeaveWorkspacePristine) {
+  const BipartiteGraph g = testing::theorem_graph(256, 3);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 1.3;  // burns servers, exercising the burned-bit cleanup
+  params.seed = 5;
+  params.deep_trace = true;
+
+  EngineWorkspace workspace;
+  (void)run_protocol(g, params, workspace);
+  params.deep_trace = false;
+  params.c = 4.0;
+  params.seed = 6;
+  expect_same_result(run_protocol(g, params, workspace),
+                     run_protocol(g, params));
+}
+
+TEST(WorkspacePool, RecyclesReleasedWorkspaces) {
+  WorkspacePool pool;
+  EngineWorkspace* first = nullptr;
+  {
+    const WorkspaceLease lease(pool);
+    first = &*lease;
+    (*lease).ensure(128, 256);
+  }
+  {
+    const WorkspaceLease lease(pool);
+    EXPECT_EQ(&*lease, first);  // the released workspace came back
+    EXPECT_GE((*lease).round_recv.size(), 128u);
+  }
+  // Two concurrent leases -> two distinct workspaces.
+  const WorkspaceLease a(pool);
+  const WorkspaceLease b(pool);
+  EXPECT_NE(&*a, &*b);
+}
+
+TEST(WorkspacePool, ConcurrentLeasesRunIndependently) {
+  const BipartiteGraph g = testing::theorem_graph(256, 21);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 2.0;
+  params.seed = 77;
+  const RunResult expected = run_protocol(g, params);
+
+  WorkspacePool pool;
+  std::vector<std::thread> threads;
+  std::vector<RunResult> results(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 3; ++i) {
+        const WorkspaceLease lease(pool);
+        results[t] = run_protocol(g, params, *lease);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const RunResult& r : results) expect_same_result(r, expected);
+}
+
+}  // namespace
+}  // namespace saer
