@@ -12,6 +12,10 @@
 //   --jobs <int>          worker threads (0 = hardware concurrency)
 //   --runs-csv <path>     stream per-replication records as CSV
 //   --runs-jsonl <path>   stream per-replication records as JSONL
+//                         (--jsonl is accepted as a shorthand)
+//   --checkpoint <path>   make the sweep resumable: rerun the identical
+//                         command to continue after an interruption
+//                         (requires a JSONL stream; see sim/sweep.hpp)
 
 #include <cmath>
 #include <stdexcept>
@@ -62,7 +66,10 @@ inline SweepOptions sweep_options(const CliArgs& args) {
   SweepOptions options;
   options.jobs = static_cast<unsigned>(args.get_uint("jobs", 0));
   options.csv_path = args.get("runs-csv", "");
-  options.jsonl_path = args.get("runs-jsonl", "");
+  options.jsonl_path = args.get("runs-jsonl", args.get("jsonl", ""));
+  options.checkpoint_path = args.get("checkpoint", "");
+  options.checkpoint_interval = static_cast<unsigned>(
+      args.get_uint("checkpoint-interval", options.checkpoint_interval));
   return options;
 }
 

@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -11,7 +12,9 @@
 #include "graph/generators.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/spectral.hpp"
+#include "sim/aggregate.hpp"
 #include "sim/sweep.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace saer::cli {
@@ -61,6 +64,45 @@ GraphFactory make_topology_factory(const std::string& topology, NodeId n,
     return [n](std::uint64_t) { return complete_bipartite(n, n); };
   }
   throw std::invalid_argument("unknown --topology " + topology);
+}
+
+/// Hash of the topology-shaping flags make_topology_factory bakes into its
+/// closure (defaults resolved exactly as it resolves them).  Folded into
+/// the grid's topology keys so the checkpoint fingerprint — which cannot
+/// see inside factory closures — rejects a resume whose graph parameters
+/// changed, not just one whose grid shape did.
+std::uint64_t topology_param_key(const std::string& topology, NodeId n,
+                                 const CliArgs& args) {
+  std::uint64_t h =
+      mix64(0x70b0'10c4'f1a65ULL,
+            args.get_uint("delta", theorem_degree(n)));
+  if (topology == "grid") h = mix64(h, args.get_uint("radius", 3));
+  if (topology == "trust") h = mix64(h, args.get_uint("groups", 4));
+  if (topology == "almost") {
+    const auto delta = args.get_uint("delta", theorem_degree(n));
+    h = mix64(h, args.get_uint("heavy-delta", 2 * delta));
+    h = mix64(h, std::bit_cast<std::uint64_t>(
+                     args.get_double("heavy-fraction", 0.05)));
+  }
+  return h;
+}
+
+/// Renders per-point aggregates the same way for `sweep` and `aggregate`.
+void print_aggregate_table(const std::vector<PointAggregate>& points) {
+  Table t({"point", "label", "ok", "fail", "rounds", "ci95", "work/ball",
+           "max_load", "burned%"});
+  for (const PointAggregate& point : points) {
+    const Aggregate& agg = point.aggregate;
+    t.add_row({Table::num(std::uint64_t{point.point}), point.label,
+               Table::num(std::uint64_t{agg.completed}),
+               Table::num(std::uint64_t{agg.failed}),
+               Table::num(agg.rounds.mean(), 2),
+               Table::num(agg.rounds.ci95(), 2),
+               Table::num(agg.work_per_ball.mean(), 2),
+               Table::num(agg.max_load.mean(), 2),
+               Table::num(100.0 * agg.burned_fraction.mean(), 2)});
+  }
+  std::printf("%s", t.render().c_str());
 }
 
 }  // namespace
@@ -216,7 +258,8 @@ int cmd_sweep(const CliArgs& args) {
           point.config.replications = reps;
           point.config.master_seed = seed;
           point.config.resample_graph = !share_graph;
-          point.topology_key = topology_cache_key(topology, n64);
+          point.topology_key = topology_cache_key(
+              topology, n64, topology_param_key(topology, n, args));
           grid.push_back(std::move(point));
         }
       }
@@ -227,40 +270,75 @@ int cmd_sweep(const CliArgs& args) {
   options.jobs = static_cast<unsigned>(args.get_uint("jobs", 0));
   options.csv_path = args.get("csv", "");
   options.jsonl_path = args.get("jsonl", "");
+  options.checkpoint_path = args.get("checkpoint", "");
+  options.checkpoint_interval = static_cast<unsigned>(
+      args.get_uint("checkpoint-interval", options.checkpoint_interval));
+  const std::string agg_csv = args.get("agg-csv", "");
   const SweepResult result = SweepScheduler(options).run(grid);
 
-  if (!quiet) {
-    Table t({"point", "ok", "fail", "rounds", "ci95", "work/ball", "max_load",
-             "burned%"});
-    for (std::size_t p = 0; p < grid.size(); ++p) {
-      const Aggregate& agg = result.aggregates[p];
-      t.add_row({grid[p].label, Table::num(std::uint64_t{agg.completed}),
-                 Table::num(std::uint64_t{agg.failed}),
-                 Table::num(agg.rounds.mean(), 2),
-                 Table::num(agg.rounds.ci95(), 2),
-                 Table::num(agg.work_per_ball.mean(), 2),
-                 Table::num(agg.max_load.mean(), 2),
-                 Table::num(100.0 * agg.burned_fraction.mean(), 2)});
-    }
-    std::printf("%s", t.render().c_str());
+  const std::vector<PointAggregate> aggregates =
+      point_aggregates(grid, result);
+  if (!agg_csv.empty()) {
+    CsvWriter csv(agg_csv);
+    write_aggregate_csv(csv, aggregates);
   }
-  std::printf("sweep: %zu runs over %zu points in %.3f s (%u jobs)\n",
+  if (!quiet) print_aggregate_table(aggregates);
+  std::printf("sweep: %zu runs over %zu points in %.3f s (%u jobs",
               result.runs.size(), grid.size(), result.wall_seconds,
               result.jobs);
+  if (result.resumed_runs) {
+    std::printf(", %zu resumed from checkpoint", result.resumed_runs);
+  }
+  std::printf(")\n");
+  return 0;
+}
+
+int cmd_aggregate(const CliArgs& args) {
+  std::vector<std::string> inputs = args.positional();
+  for (std::string& extra : args.get_list("inputs", {})) {
+    inputs.push_back(std::move(extra));
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "aggregate: no inputs (pass JSONL paths, or --inputs "
+                 "a.jsonl,b.jsonl)\n");
+    return 2;
+  }
+  JsonlReadOptions read_options;
+  read_options.tolerate_truncated_tail = args.get_bool("tolerant", false);
+  const std::string csv_path = args.get("csv", "");
+  const bool quiet = args.get_bool("quiet", false);
+
+  const AggregateSummary summary = aggregate_jsonl_files(inputs, read_options);
+  if (!csv_path.empty()) {
+    CsvWriter csv(csv_path);
+    write_aggregate_csv(csv, summary.points);
+  }
+  if (!quiet) print_aggregate_table(summary.points);
+  std::printf(
+      "aggregate: %zu rows from %zu input(s) -> %zu points (%zu duplicates "
+      "dropped, %zu truncated tails skipped)\n",
+      summary.rows_read, inputs.size(), summary.points.size(),
+      summary.duplicates, summary.truncated_tails);
   return 0;
 }
 
 std::string usage() {
-  return "usage: saer <generate|stats|run|expander|sweep> [flags]\n"
-         "  generate --topology T --n N --out PATH [--delta D] [--seed S]\n"
-         "  stats    --graph PATH | --topology T --n N\n"
-         "  run      [--graph PATH | --topology T --n N] [--protocol saer|raes]\n"
-         "           [--d D] [--c C] [--seed S] [--trace]\n"
-         "  expander [--graph PATH | --topology T --n N] [--d D] [--c C]\n"
-         "  sweep    --topology T --sizes N1,N2 [--ds D1,D2] [--cs C1,C2]\n"
-         "           [--protocol saer|raes|both] [--reps R] [--seed S]\n"
-         "           [--jobs N] [--csv PATH] [--jsonl PATH] [--share-graph]\n"
-         "           [--quiet]\n"
+  return "usage: saer <generate|stats|run|expander|sweep|aggregate> [flags]\n"
+         "  generate  --topology T --n N --out PATH [--delta D] [--seed S]\n"
+         "  stats     --graph PATH | --topology T --n N\n"
+         "  run       [--graph PATH | --topology T --n N] [--protocol saer|raes]\n"
+         "            [--d D] [--c C] [--seed S] [--trace]\n"
+         "  expander  [--graph PATH | --topology T --n N] [--d D] [--c C]\n"
+         "  sweep     --topology T --sizes N1,N2 [--ds D1,D2] [--cs C1,C2]\n"
+         "            [--protocol saer|raes|both] [--reps R] [--seed S]\n"
+         "            [--jobs N] [--csv PATH] [--jsonl PATH] [--share-graph]\n"
+         "            [--checkpoint PATH] [--checkpoint-interval K]\n"
+         "            [--agg-csv PATH] [--quiet]\n"
+         "            (--checkpoint makes the sweep resumable: rerun the\n"
+         "             identical command to continue after an interruption)\n"
+         "  aggregate RUNS.jsonl [MORE.jsonl ...] | --inputs A.jsonl,B.jsonl\n"
+         "            [--csv PATH] [--tolerant] [--quiet]\n"
          "topologies: regular ring grid trust almost complete\n";
 }
 
@@ -277,6 +355,7 @@ int dispatch(int argc, const char* const* argv) {
     if (command == "run") return cmd_run(args);
     if (command == "expander") return cmd_expander(args);
     if (command == "sweep") return cmd_sweep(args);
+    if (command == "aggregate") return cmd_aggregate(args);
     std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
                  usage().c_str());
     return 2;

@@ -11,9 +11,19 @@
 //   saer sweep    --topology regular --sizes 1024,4096 [--ds 2] [--cs 2,4]
 //                 [--protocol saer|raes|both] [--reps R] [--seed S]
 //                 [--jobs N] [--csv runs.csv] [--jsonl runs.jsonl]
+//                 [--checkpoint sweep.ckpt] [--agg-csv agg.csv]
 //                 [--share-graph] [--quiet]
+//   saer aggregate runs1.jsonl [runs2.jsonl ...] | --inputs a.jsonl,b.jsonl
+//                 [--csv agg.csv] [--tolerant] [--quiet]
 //
 // `--topology` accepts: regular | ring | grid | trust | almost | complete.
+//
+// `sweep --checkpoint` makes the grid resumable: re-running the identical
+// command after an interruption skips the runs already streamed and splices
+// the output so the final CSV/JSONL bytes match an uninterrupted run (see
+// sim/sweep.hpp).  `aggregate` folds one or more streamed JSONL files
+// (shards, or an interrupted+resumed pair) into per-point aggregates that
+// bit-match what the sweep computed in-process.
 
 #include <string>
 
@@ -34,6 +44,7 @@ int cmd_stats(const CliArgs& args);
 int cmd_run(const CliArgs& args);
 int cmd_expander(const CliArgs& args);
 int cmd_sweep(const CliArgs& args);
+int cmd_aggregate(const CliArgs& args);
 
 /// Dispatches on argv[1]; returns process exit code.
 int dispatch(int argc, const char* const* argv);

@@ -1,0 +1,125 @@
+#include "sim/aggregate.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+namespace saer {
+
+AggregateSummary aggregate_sweep_rows(std::vector<SweepRunRow> rows) {
+  AggregateSummary summary;
+  summary.rows_read = rows.size();
+
+  // Dedup key; map order doubles as the (point, replication) replay order.
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint64_t,
+                         std::uint64_t>;
+  std::map<Key, SweepRunRow> unique;
+  for (SweepRunRow& row : rows) {
+    const Key key{row.point, row.replication, row.record.params.seed,
+                  row.graph_seed};
+    const auto it = unique.find(key);
+    if (it != unique.end()) {
+      if (sweep_run_row_json(it->second) != sweep_run_row_json(row)) {
+        throw std::runtime_error(
+            "aggregate: conflicting duplicate for point " +
+            std::to_string(row.point) + " replication " +
+            std::to_string(row.replication) +
+            " (same seeds, different outcome)");
+      }
+      ++summary.duplicates;
+      continue;
+    }
+    unique.emplace(key, std::move(row));
+  }
+
+  for (const auto& [key, row] : unique) {
+    if (summary.points.empty() || summary.points.back().point != row.point) {
+      PointAggregate point;
+      point.point = row.point;
+      point.label = row.label;
+      summary.points.push_back(std::move(point));
+    }
+    PointAggregate& point = summary.points.back();
+    if (point.label != row.label) {
+      throw std::runtime_error("aggregate: point " +
+                               std::to_string(row.point) +
+                               " has conflicting labels \"" + point.label +
+                               "\" and \"" + row.label + '"');
+    }
+    accumulate_run(point.aggregate, row.record, row.burned_fraction,
+                   row.decay_rate);
+  }
+  return summary;
+}
+
+AggregateSummary aggregate_jsonl_files(const std::vector<std::string>& paths,
+                                       const JsonlReadOptions& options) {
+  std::vector<SweepRunRow> rows;
+  std::size_t truncated = 0;
+  for (const std::string& path : paths) {
+    SweepJsonl stream = load_sweep_jsonl(path, options);
+    if (stream.truncated_tail) ++truncated;
+    rows.insert(rows.end(), std::make_move_iterator(stream.rows.begin()),
+                std::make_move_iterator(stream.rows.end()));
+  }
+  AggregateSummary summary = aggregate_sweep_rows(std::move(rows));
+  summary.truncated_tails = truncated;
+  return summary;
+}
+
+const std::vector<std::string>& aggregate_csv_columns() {
+  static const std::vector<std::string> columns = [] {
+    std::vector<std::string> names = {"point", "label", "runs", "completed",
+                                      "failed"};
+    for (const char* metric :
+         {"burned_fraction", "rounds", "work_per_ball", "max_load"}) {
+      for (const char* stat : {"mean", "stddev", "min", "max"}) {
+        names.push_back(std::string(metric) + '_' + stat);
+      }
+    }
+    return names;
+  }();
+  return columns;
+}
+
+std::vector<std::string> aggregate_csv_cells(const PointAggregate& point) {
+  const Aggregate& agg = point.aggregate;
+  std::vector<std::string> cells = {
+      std::to_string(point.point), point.label,
+      std::to_string(agg.completed + agg.failed),
+      std::to_string(agg.completed), std::to_string(agg.failed)};
+  for (const Accumulator* acc :
+       {&agg.burned_fraction, &agg.rounds, &agg.work_per_ball,
+        &agg.max_load}) {
+    cells.push_back(format_double_compact(acc->mean()));
+    cells.push_back(format_double_compact(acc->stddev()));
+    cells.push_back(format_double_compact(acc->min()));
+    cells.push_back(format_double_compact(acc->max()));
+  }
+  return cells;
+}
+
+void write_aggregate_csv(CsvWriter& csv,
+                         const std::vector<PointAggregate>& points) {
+  csv.header(aggregate_csv_columns());
+  for (const PointAggregate& point : points) {
+    csv.row(aggregate_csv_cells(point));
+  }
+}
+
+std::vector<PointAggregate> point_aggregates(
+    const std::vector<SweepPoint>& grid, const SweepResult& result) {
+  std::vector<PointAggregate> points;
+  points.reserve(grid.size());
+  for (std::size_t p = 0; p < grid.size(); ++p) {
+    PointAggregate point;
+    point.point = static_cast<std::uint32_t>(p);
+    point.label = grid[p].label;
+    point.aggregate = result.aggregates[p];
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace saer

@@ -1,0 +1,64 @@
+#pragma once
+// Offline aggregation of sweep JSONL streams: folds the per-run rows the
+// scheduler streamed (possibly split across shards, or the overlap of an
+// interrupted and a resumed sweep) back into the per-point figure-level
+// aggregates, without re-simulation.
+//
+// Bit-reproducibility contract: rows are deduplicated on (point,
+// replication, protocol seed, graph seed) -- identical duplicates are
+// dropped, conflicting ones throw -- and the survivors are replayed in
+// (point, replication) order through the exact accumulation arithmetic the
+// scheduler uses in-process (accumulate_run), so aggregates computed from a
+// stream bit-match the SweepResult aggregates of the sweep that wrote it.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/run_record.hpp"
+#include "sim/sweep.hpp"
+#include "util/csv.hpp"
+
+namespace saer {
+
+/// Figure-level aggregate of one grid point, labelled.
+struct PointAggregate {
+  std::uint32_t point = 0;
+  std::string label;
+  Aggregate aggregate;
+};
+
+struct AggregateSummary {
+  std::vector<PointAggregate> points;  ///< ascending point index
+  std::size_t rows_read = 0;           ///< rows parsed across all inputs
+  std::size_t duplicates = 0;          ///< identical rows dropped by dedup
+  std::size_t truncated_tails = 0;     ///< partial final lines skipped
+};
+
+/// Dedups and folds rows (see the contract above).  Throws on conflicting
+/// duplicates or on rows of one point disagreeing about its label.
+[[nodiscard]] AggregateSummary aggregate_sweep_rows(
+    std::vector<SweepRunRow> rows);
+
+/// Reads every JSONL input and aggregates the union of their rows.
+[[nodiscard]] AggregateSummary aggregate_jsonl_files(
+    const std::vector<std::string>& paths,
+    const JsonlReadOptions& options = {});
+
+/// The canonical aggregate CSV table: identical bytes whether the
+/// aggregates came from the scheduler (point_aggregates) or from JSONL.
+/// Columns: point, label, runs, completed, failed, then mean/stddev/min/max
+/// of burned_fraction, rounds, work_per_ball, and max_load.
+[[nodiscard]] const std::vector<std::string>& aggregate_csv_columns();
+[[nodiscard]] std::vector<std::string> aggregate_csv_cells(
+    const PointAggregate& point);
+void write_aggregate_csv(CsvWriter& csv,
+                         const std::vector<PointAggregate>& points);
+
+/// In-process side of the contract: a finished sweep's aggregates labelled
+/// by their grid points.
+[[nodiscard]] std::vector<PointAggregate> point_aggregates(
+    const std::vector<SweepPoint>& grid, const SweepResult& result);
+
+}  // namespace saer

@@ -4,6 +4,20 @@
 
 namespace saer {
 
+void accumulate_run(Aggregate& agg, const RunRecord& rec,
+                    double burned_fraction, double decay_rate) {
+  if (rec.completed) {
+    ++agg.completed;
+    agg.rounds.add(static_cast<double>(rec.rounds));
+    agg.work_per_ball.add(run_record_work_per_ball(rec));
+  } else {
+    ++agg.failed;
+  }
+  agg.max_load.add(static_cast<double>(rec.max_load));
+  agg.burned_fraction.add(burned_fraction);
+  agg.decay_rate.add(decay_rate);
+}
+
 Aggregate run_replicated(const GraphFactory& factory,
                          const ExperimentConfig& config, unsigned jobs) {
   SweepPoint point;

@@ -10,6 +10,7 @@
 #include "core/engine.hpp"
 #include "core/protocol.hpp"
 #include "graph/bipartite_graph.hpp"
+#include "sim/run_record.hpp"
 #include "util/stats.hpp"
 
 namespace saer {
@@ -41,6 +42,13 @@ struct Aggregate {
     return total ? static_cast<double>(failed) / total : 0.0;
   }
 };
+
+/// Folds one run's observables into `agg` with exactly the arithmetic the
+/// serial driver uses.  Replaying runs in (point, replication) order through
+/// this function is the bit-reproducibility contract shared by the sweep
+/// scheduler and the offline `saer aggregate` path (sim/aggregate.hpp).
+void accumulate_run(Aggregate& agg, const RunRecord& rec,
+                    double burned_fraction, double decay_rate);
 
 /// Runs `config.replications` independent replications.  Replication i uses
 /// protocol seed replication_seed(master_seed, 2i) and graph seed

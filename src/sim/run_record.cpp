@@ -1,6 +1,8 @@
 #include "sim/run_record.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -10,6 +12,18 @@ namespace saer {
 std::string format_double_compact(double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+std::string format_double_roundtrip(double value) {
+  char buf[64];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) return buf;
+  }
+  // %.17g round-trips every finite double; reachable only for inf/nan,
+  // which the sweep never produces but which should still print something.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
   return buf;
 }
 
@@ -67,6 +81,187 @@ std::string expect_key(std::istream& is, const std::string& key) {
   return value;
 }
 
+Protocol parse_protocol(const std::string& name) {
+  if (name == "SAER") return Protocol::kSaer;
+  if (name == "RAES") return Protocol::kRaes;
+  throw std::runtime_error("run record: unknown protocol " + name);
+}
+
+/// JSON string escaping for the sweep rows: quotes, backslashes, and every
+/// control character (labels are free-form user text; an unescaped newline
+/// would break the one-row-per-line framing the resume splice relies on).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Strict cursor over one JSON line.  Every helper throws with the byte
+/// offset on a mismatch, so malformed-line errors point at the defect.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  void expect(char ch) {
+    if (pos_ >= text_.size() || text_[pos_] != ch)
+      fail(std::string("expected '") + ch + "'");
+    ++pos_;
+  }
+
+  /// Consumes `"name":` — the fixed-key-order guard against emitter drift.
+  void expect_key(const char* name) {
+    const std::size_t at = pos_;
+    expect('"');
+    for (const char* p = name; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        pos_ = at;
+        fail("expected key \"" + std::string(name) + "\"");
+      }
+      ++pos_;
+    }
+    expect('"');
+    expect(':');
+  }
+
+  std::uint64_t parse_u64() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+      ++pos_;
+    if (pos_ == start) fail("expected unsigned integer");
+    errno = 0;
+    const std::uint64_t value =
+        std::strtoull(text_.substr(start, pos_ - start).c_str(), nullptr, 10);
+    if (errno == ERANGE) fail("integer out of range");
+    return value;
+  }
+
+  std::uint32_t parse_u32() {
+    const std::size_t at = pos_;
+    const std::uint64_t value = parse_u64();
+    if (value > UINT32_MAX) {
+      pos_ = at;
+      fail("integer out of 32-bit range");
+    }
+    return static_cast<std::uint32_t>(value);
+  }
+
+  double parse_double() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::string("0123456789+-.eE").find(text_[pos_]) !=
+            std::string::npos))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return value;
+  }
+
+  bool parse_bool01() {
+    const std::size_t at = pos_;
+    const std::uint64_t value = parse_u64();
+    if (value > 1) {
+      pos_ = at;
+      fail("expected 0 or 1");
+    }
+    return value == 1;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char ch = text_[pos_++];
+      if (ch == '"') break;
+      if (ch == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char hex = text_[pos_++];
+              code <<= 4;
+              if (hex >= '0' && hex <= '9') code |= static_cast<unsigned>(hex - '0');
+              else if (hex >= 'a' && hex <= 'f') code |= static_cast<unsigned>(hex - 'a' + 10);
+              else if (hex >= 'A' && hex <= 'F') code |= static_cast<unsigned>(hex - 'A' + 10);
+              else fail("bad \\u escape digit");
+            }
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else if (code >= 0xd800 && code < 0xe000) {
+              fail("surrogate \\u escape unsupported");
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        --pos_;
+        fail("unescaped control character");
+      } else {
+        out += ch;
+      }
+    }
+    return out;
+  }
+
+  void expect_end() {
+    if (pos_ != text_.size()) fail("trailing characters");
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("sweep row: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace
 
 RunRecord read_run_record(std::istream& is) {
@@ -74,14 +269,7 @@ RunRecord read_run_record(std::istream& is) {
   if (!std::getline(is, header) || header != "saer-run 1")
     throw std::runtime_error("read_run_record: bad header");
   RunRecord rec;
-  const std::string protocol = expect_key(is, "protocol");
-  if (protocol == "SAER") {
-    rec.params.protocol = Protocol::kSaer;
-  } else if (protocol == "RAES") {
-    rec.params.protocol = Protocol::kRaes;
-  } else {
-    throw std::runtime_error("read_run_record: unknown protocol " + protocol);
-  }
+  rec.params.protocol = parse_protocol(expect_key(is, "protocol"));
   rec.params.d = static_cast<std::uint32_t>(std::stoul(expect_key(is, "d")));
   rec.params.c = std::stod(expect_key(is, "c"));
   rec.params.seed = std::stoull(expect_key(is, "seed"));
@@ -116,11 +304,13 @@ const std::vector<std::string>& run_record_columns() {
   return columns;
 }
 
+double run_record_work_per_ball(const RunRecord& rec) {
+  return rec.total_balls ? static_cast<double>(rec.work_messages) /
+                               static_cast<double>(rec.total_balls)
+                         : 0.0;
+}
+
 std::vector<std::string> run_record_cells(const RunRecord& rec) {
-  const double work_per_ball =
-      rec.total_balls ? static_cast<double>(rec.work_messages) /
-                            static_cast<double>(rec.total_balls)
-                      : 0.0;
   return {to_string(rec.params.protocol),
           std::to_string(rec.params.d),
           format_double_compact(rec.params.c),
@@ -130,32 +320,161 @@ std::vector<std::string> run_record_cells(const RunRecord& rec) {
           std::to_string(rec.total_balls),
           std::to_string(rec.alive_balls),
           std::to_string(rec.work_messages),
-          format_double_compact(work_per_ball),
+          format_double_compact(run_record_work_per_ball(rec)),
           std::to_string(rec.max_load),
           std::to_string(rec.burned_servers)};
 }
 
 std::string run_record_json(const RunRecord& rec) {
-  const auto& columns = run_record_columns();
-  const auto cells = run_record_cells(rec);
-  std::string out = "{";
-  for (std::size_t i = 0; i < columns.size(); ++i) {
-    if (i) out += ',';
-    out += '"';
-    out += columns[i];
-    out += "\":";
-    // Only `protocol` is textual; every other cell is already a JSON number
-    // or 0/1 boolean-as-number.
-    if (columns[i] == "protocol") {
-      out += '"';
-      out += cells[i];
-      out += '"';
-    } else {
-      out += cells[i];
-    }
-  }
+  std::string out = "{\"protocol\":\"" + to_string(rec.params.protocol) + '"';
+  out += ",\"d\":" + std::to_string(rec.params.d);
+  out += ",\"c\":" + format_double_roundtrip(rec.params.c);
+  out += ",\"seed\":" + std::to_string(rec.params.seed);
+  out += std::string(",\"completed\":") + (rec.completed ? "1" : "0");
+  out += ",\"rounds\":" + std::to_string(rec.rounds);
+  out += ",\"total_balls\":" + std::to_string(rec.total_balls);
+  out += ",\"alive_balls\":" + std::to_string(rec.alive_balls);
+  out += ",\"work_messages\":" + std::to_string(rec.work_messages);
+  out += ",\"work_per_ball\":" + format_double_roundtrip(run_record_work_per_ball(rec));
+  out += ",\"max_load\":" + std::to_string(rec.max_load);
+  out += ",\"burned_servers\":" + std::to_string(rec.burned_servers);
   out += '}';
   return out;
+}
+
+std::string sweep_run_row_json(const SweepRunRow& row) {
+  std::string out = "{\"point\":" + std::to_string(row.point);
+  out += ",\"label\":\"" + json_escape(row.label) + '"';
+  out += ",\"replication\":" + std::to_string(row.replication);
+  out += ",\"graph_seed\":" + std::to_string(row.graph_seed);
+  out += ",\"num_servers\":" + std::to_string(row.num_servers);
+  out += ",\"burned_fraction\":" + format_double_roundtrip(row.burned_fraction);
+  out += ",\"decay_rate\":" + format_double_roundtrip(row.decay_rate);
+  out += ",\"run\":" + run_record_json(row.record) + '}';
+  return out;
+}
+
+SweepRunRow parse_sweep_run_row(const std::string& line) {
+  JsonCursor cursor(line);
+  SweepRunRow row;
+  cursor.expect('{');
+  cursor.expect_key("point");
+  row.point = cursor.parse_u32();
+  cursor.expect(',');
+  cursor.expect_key("label");
+  row.label = cursor.parse_string();
+  cursor.expect(',');
+  cursor.expect_key("replication");
+  row.replication = cursor.parse_u32();
+  cursor.expect(',');
+  cursor.expect_key("graph_seed");
+  row.graph_seed = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("num_servers");
+  row.num_servers = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("burned_fraction");
+  row.burned_fraction = cursor.parse_double();
+  cursor.expect(',');
+  cursor.expect_key("decay_rate");
+  row.decay_rate = cursor.parse_double();
+  cursor.expect(',');
+  cursor.expect_key("run");
+  cursor.expect('{');
+  RunRecord& rec = row.record;
+  cursor.expect_key("protocol");
+  rec.params.protocol = parse_protocol(cursor.parse_string());
+  cursor.expect(',');
+  cursor.expect_key("d");
+  rec.params.d = cursor.parse_u32();
+  cursor.expect(',');
+  cursor.expect_key("c");
+  rec.params.c = cursor.parse_double();
+  cursor.expect(',');
+  cursor.expect_key("seed");
+  rec.params.seed = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("completed");
+  rec.completed = cursor.parse_bool01();
+  cursor.expect(',');
+  cursor.expect_key("rounds");
+  rec.rounds = cursor.parse_u32();
+  cursor.expect(',');
+  cursor.expect_key("total_balls");
+  rec.total_balls = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("alive_balls");
+  rec.alive_balls = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("work_messages");
+  rec.work_messages = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("work_per_ball");
+  const double work_per_ball = cursor.parse_double();
+  cursor.expect(',');
+  cursor.expect_key("max_load");
+  rec.max_load = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("burned_servers");
+  rec.burned_servers = cursor.parse_u64();
+  cursor.expect('}');
+  cursor.expect('}');
+  cursor.expect_end();
+
+  // Derived fields must agree with their integer sources: the emitter
+  // computes them, so any mismatch means a corrupted or foreign stream.
+  if (work_per_ball != run_record_work_per_ball(rec))
+    throw std::runtime_error(
+        "sweep row: work_per_ball contradicts work_messages/total_balls");
+  if (row.num_servers == 0)
+    throw std::runtime_error("sweep row: num_servers must be positive");
+  if (row.burned_fraction != static_cast<double>(rec.burned_servers) /
+                                 static_cast<double>(row.num_servers))
+    throw std::runtime_error(
+        "sweep row: burned_fraction contradicts burned_servers/num_servers");
+  return row;
+}
+
+SweepJsonl read_sweep_jsonl(std::istream& is, const JsonlReadOptions& options) {
+  SweepJsonl out;
+  std::string line;
+  std::size_t line_number = 0;
+  std::string pending_error;
+  std::size_t pending_line = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    if (!pending_error.empty()) {
+      // The failed line was not the final one after all.
+      throw std::runtime_error("sweep jsonl line " +
+                               std::to_string(pending_line) + ": " +
+                               pending_error);
+    }
+    try {
+      out.rows.push_back(parse_sweep_run_row(line));
+    } catch (const std::exception& err) {
+      if (!options.tolerate_truncated_tail) {
+        throw std::runtime_error("sweep jsonl line " +
+                                 std::to_string(line_number) + ": " +
+                                 err.what());
+      }
+      pending_error = err.what();
+      pending_line = line_number;
+    }
+  }
+  if (!pending_error.empty()) out.truncated_tail = true;
+  return out;
+}
+
+SweepJsonl load_sweep_jsonl(const std::string& path,
+                            const JsonlReadOptions& options) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file)
+    throw std::runtime_error("load_sweep_jsonl: cannot open " + path);
+  try {
+    return read_sweep_jsonl(file, options);
+  } catch (const std::exception& err) {
+    throw std::runtime_error(path + ": " + err.what());
+  }
 }
 
 void save_run_record(const std::string& path, const RunRecord& record) {

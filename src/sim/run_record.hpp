@@ -25,7 +25,30 @@
 // The assignment and load vectors are intentionally not serialized (they
 // are O(n) and reproducible from the seed); records capture the observables
 // the figures report.
+//
+// Sweep JSONL rows
+// ----------------
+// The sweep scheduler streams one SweepRunRow JSON object per replication
+// (see sweep.hpp).  Emitter and parser live together in this module so the
+// field names, field order, and escaping cannot drift apart.  The canonical
+// row is a single line:
+//
+//   {"point":P,"label":"...","replication":R,"graph_seed":G,
+//    "num_servers":N,"burned_fraction":F,"decay_rate":D,
+//    "run":{"protocol":"SAER","d":..,"c":..,"seed":..,"completed":0|1,
+//           "rounds":..,"total_balls":..,"alive_balls":..,
+//           "work_messages":..,"work_per_ball":..,"max_load":..,
+//           "burned_servers":..}}
+//
+// Doubles are emitted round-trip exact (format_double_roundtrip), so
+// parse(emit(row)) == row field-for-field and offline aggregation of a
+// stream bit-matches the in-process aggregates.  The parser is strict: it
+// requires exactly these keys in exactly this order (that strictness is the
+// regression guard against emitter/reader drift) and validates the derived
+// fields (work_per_ball, burned_fraction) against their integer sources.
+// The per-round trace is not part of the row.
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -64,12 +87,64 @@ void save_run_record(const std::string& path, const RunRecord& record);
 [[nodiscard]] std::vector<std::string> run_record_cells(const RunRecord& rec);
 
 /// One-line JSON object with the same fields as run_record_columns()
-/// (no trailing newline), for JSONL streams.
+/// (no trailing newline), for JSONL streams.  Doubles use
+/// format_double_roundtrip so the object parses back to the exact record.
 [[nodiscard]] std::string run_record_json(const RunRecord& rec);
+
+/// One row of a sweep JSONL stream: the per-run fields the scheduler's
+/// ordered sink wraps around the nested RunRecord object.  `record.trace`
+/// is always empty after parsing (traces are not serialized in rows).
+struct SweepRunRow {
+  std::uint32_t point = 0;       ///< index into the sweep grid
+  std::string label;             ///< the grid point's free-form tag
+  std::uint32_t replication = 0;
+  std::uint64_t graph_seed = 0;
+  std::uint64_t num_servers = 0;
+  double burned_fraction = 0.0;  ///< burned_servers / num_servers, exact
+  double decay_rate = 0.0;
+  RunRecord record;
+};
+
+/// Canonical one-line JSON emission of a row (no trailing newline).
+[[nodiscard]] std::string sweep_run_row_json(const SweepRunRow& row);
+
+/// Strict parse of one canonical row; throws std::runtime_error with a byte
+/// offset on any malformed input, unknown/reordered key, or a derived field
+/// that contradicts its integer sources.
+[[nodiscard]] SweepRunRow parse_sweep_run_row(const std::string& line);
+
+struct JsonlReadOptions {
+  /// Tolerate a truncated final line (a crash mid-append): if the last line
+  /// of the stream fails to parse it is skipped instead of throwing.  Every
+  /// earlier line must still parse.
+  bool tolerate_truncated_tail = false;
+};
+
+struct SweepJsonl {
+  std::vector<SweepRunRow> rows;
+  bool truncated_tail = false;  ///< a partial final line was skipped
+};
+
+/// Reads a whole JSONL stream of sweep rows.  Strict by default: any
+/// malformed line throws std::runtime_error naming the 1-based line number.
+[[nodiscard]] SweepJsonl read_sweep_jsonl(std::istream& is,
+                                          const JsonlReadOptions& options = {});
+[[nodiscard]] SweepJsonl load_sweep_jsonl(const std::string& path,
+                                          const JsonlReadOptions& options = {});
+
+/// Messages per ball (work_messages / total_balls; 0 when there are no
+/// balls): the derived field shared by the record cells, the JSON emitters,
+/// and the aggregate arithmetic, so the three can never disagree.
+[[nodiscard]] double run_record_work_per_ball(const RunRecord& rec);
 
 /// Compact deterministic double formatting ("%g") shared by every record
 /// cell and the sweep sinks, so all columns of a row use one rule and
 /// byte-identical output only depends on the values.
 [[nodiscard]] std::string format_double_compact(double value);
+
+/// Shortest "%.Ng" formatting that parses back to the exact same double
+/// (N in {15,16,17}).  Used by every JSONL emitter so parsed streams carry
+/// the same bits the scheduler computed in-process.
+[[nodiscard]] std::string format_double_roundtrip(double value);
 
 }  // namespace saer

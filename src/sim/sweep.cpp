@@ -1,15 +1,23 @@
 #include "sim/sweep.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "core/metrics.hpp"
 #include "core/workspace.hpp"
@@ -30,40 +38,128 @@ std::uint64_t topology_cache_key(const std::string& generator, std::uint64_t n,
   return h ? h : 1;  // keep 0 reserved for "no cross-point reuse"
 }
 
+std::uint64_t grid_fingerprint(const std::vector<SweepPoint>& grid) {
+  std::uint64_t h = 0x5eed'c8ec'9017ULL;
+  for (const SweepPoint& point : grid) {
+    h = mix64(h, point.label.size());
+    for (const char ch : point.label) {
+      h = mix64(h, static_cast<std::uint64_t>(static_cast<unsigned char>(ch)));
+    }
+    const ExperimentConfig& config = point.config;
+    h = mix64(h, config.replications);
+    h = mix64(h, config.master_seed);
+    h = mix64(h, config.resample_graph ? 1 : 0);
+    h = mix64(h, point.topology_key);
+    // params.seed is excluded: the scheduler overrides it per replication.
+    const ProtocolParams& params = config.params;
+    h = mix64(h, static_cast<std::uint64_t>(params.protocol));
+    h = mix64(h, params.d);
+    h = mix64(h, std::bit_cast<std::uint64_t>(params.c));
+    h = mix64(h, params.max_rounds);
+    h = mix64(h, params.deep_trace ? 1 : 0);
+    h = mix64(h, params.record_trace ? 1 : 0);
+  }
+  return h ? h : 1;
+}
+
 namespace {
 
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char ch : text) {
-    if (ch == '"' || ch == '\\') out += '\\';
-    out += ch;
-  }
-  return out;
+namespace fs = std::filesystem;
+
+/// The sweep-level view of one run as streamed to JSONL (trace excluded:
+/// rows archive the observables, not the per-round history).
+SweepRunRow to_sweep_row(const SweepRun& run, const std::string& label) {
+  SweepRunRow row;
+  row.point = run.point;
+  row.label = label;
+  row.replication = run.replication;
+  row.graph_seed = run.graph_seed;
+  row.num_servers = run.num_servers;
+  row.burned_fraction = run.burned_fraction;
+  row.decay_rate = run.decay_rate;
+  row.record.params = run.record.params;
+  row.record.completed = run.record.completed;
+  row.record.rounds = run.record.rounds;
+  row.record.total_balls = run.record.total_balls;
+  row.record.alive_balls = run.record.alive_balls;
+  row.record.work_messages = run.record.work_messages;
+  row.record.max_load = run.record.max_load;
+  row.record.burned_servers = run.record.burned_servers;
+  return row;
+}
+
+SweepRun from_sweep_row(const SweepRunRow& row) {
+  SweepRun run;
+  run.point = row.point;
+  run.replication = row.replication;
+  run.protocol_seed = row.record.params.seed;
+  run.graph_seed = row.graph_seed;
+  run.num_servers = row.num_servers;
+  run.burned_fraction = row.burned_fraction;
+  run.decay_rate = row.decay_rate;
+  run.record = row.record;
+  return run;
 }
 
 /// Streams per-run rows to CSV/JSONL in global run order regardless of task
 /// completion order: completed rows are buffered until every earlier row
 /// has been written, so the files are byte-identical for any worker count.
+/// With a checkpoint configured it also appends one `run` line per written
+/// row and periodically fsyncs (streams flushed first), making the write
+/// frontier durable for resume.
 class OrderedSink {
  public:
-  OrderedSink(const std::string& csv_path, const std::string& jsonl_path) {
-    if (!csv_path.empty()) {
-      csv_.emplace(csv_path);
-      auto columns = run_record_columns();
-      std::vector<std::string> header = {"point",       "label",
-                                         "replication", "graph_seed",
-                                         "num_servers", "burned_fraction",
-                                         "decay_rate"};
-      header.insert(header.end(), columns.begin(), columns.end());
-      csv_->header(header);
-    }
-    if (!jsonl_path.empty()) {
-      jsonl_.emplace(jsonl_path);
-      if (!*jsonl_) {
-        throw std::runtime_error("sweep: cannot open JSONL sink " + jsonl_path);
+  struct Config {
+    const SweepOptions* options = nullptr;
+    std::size_t start_index = 0;  ///< resume frontier: rows [0, start) exist
+    std::size_t total_runs = 0;
+    std::uint64_t fingerprint = 0;
+  };
+
+  explicit OrderedSink(const Config& config)
+      : next_(config.start_index),
+        sync_interval_(std::max(1u, config.options->checkpoint_interval)),
+        hook_(&config.options->on_row_streamed) {
+    const SweepOptions& options = *config.options;
+    const bool append = config.start_index > 0;
+    if (!options.csv_path.empty()) {
+      csv_.emplace(options.csv_path, append);
+      if (!append) {
+        auto columns = run_record_columns();
+        std::vector<std::string> header = {"point",       "label",
+                                           "replication", "graph_seed",
+                                           "num_servers", "burned_fraction",
+                                           "decay_rate"};
+        header.insert(header.end(), columns.begin(), columns.end());
+        csv_->header(header);
       }
     }
+    if (!options.jsonl_path.empty()) {
+      jsonl_.emplace(options.jsonl_path,
+                     append ? (std::ios::out | std::ios::app) : std::ios::out);
+      if (!*jsonl_) {
+        throw std::runtime_error("sweep: cannot open JSONL sink " +
+                                 options.jsonl_path);
+      }
+    }
+    if (!options.checkpoint_path.empty()) {
+      checkpoint_ =
+          std::fopen(options.checkpoint_path.c_str(), append ? "a" : "w");
+      if (!checkpoint_) {
+        throw std::runtime_error("sweep: cannot open checkpoint " +
+                                 options.checkpoint_path);
+      }
+      if (!append) {
+        std::fprintf(checkpoint_, "saer-checkpoint 1 %llu %llu\n",
+                     static_cast<unsigned long long>(config.total_runs),
+                     static_cast<unsigned long long>(config.fingerprint));
+      }
+    }
+  }
+
+  ~OrderedSink() {
+    sync();
+    if (checkpoint_) std::fclose(checkpoint_);
   }
 
   [[nodiscard]] bool enabled() const { return csv_ || jsonl_; }
@@ -72,75 +168,268 @@ class OrderedSink {
   /// (point, replication) rank.  Thread-safe.
   void push(std::size_t index, const SweepRun& run, const std::string& label) {
     std::lock_guard lock(mutex_);
-    pending_.emplace(index, Row{format_csv(run, label), format_json(run, label)});
+    if (dead_) return;  // a hook abort froze the streams at their frontier
+    pending_.emplace(index, make_row(run, label));
     while (!pending_.empty() && pending_.begin()->first == next_) {
       const Row& row = pending_.begin()->second;
       if (csv_) csv_->row(row.cells);
       if (jsonl_) *jsonl_ << row.json << '\n';
+      if (checkpoint_) {
+        std::fprintf(checkpoint_, "run %llu %u %u\n",
+                     static_cast<unsigned long long>(next_), row.point,
+                     row.replication);
+        if (++rows_since_sync_ >= sync_interval_) {
+          sync();
+          rows_since_sync_ = 0;
+        }
+      }
       pending_.erase(pending_.begin());
       ++next_;
+      if (*hook_) {
+        try {
+          (*hook_)(next_);
+        } catch (...) {
+          dead_ = true;
+          throw;
+        }
+      }
     }
   }
 
  private:
   struct Row {
+    std::uint32_t point = 0;
+    std::uint32_t replication = 0;
     std::vector<std::string> cells;
     std::string json;
   };
 
-  [[nodiscard]] std::vector<std::string> format_csv(const SweepRun& run,
-                                                    const std::string& label) {
-    if (!csv_) return {};
-    std::vector<std::string> cells = {std::to_string(run.point),
-                                      label,
-                                      std::to_string(run.replication),
-                                      std::to_string(run.graph_seed),
-                                      std::to_string(run.num_servers),
-                                      format_double_compact(run.burned_fraction),
-                                      format_double_compact(run.decay_rate)};
-    const auto record = run_record_cells(run.record);
-    cells.insert(cells.end(), record.begin(), record.end());
-    return cells;
+  [[nodiscard]] Row make_row(const SweepRun& run, const std::string& label) {
+    Row row;
+    row.point = run.point;
+    row.replication = run.replication;
+    if (csv_) {
+      row.cells = {std::to_string(run.point),
+                   label,
+                   std::to_string(run.replication),
+                   std::to_string(run.graph_seed),
+                   std::to_string(run.num_servers),
+                   format_double_compact(run.burned_fraction),
+                   format_double_compact(run.decay_rate)};
+      const auto record = run_record_cells(run.record);
+      row.cells.insert(row.cells.end(), record.begin(), record.end());
+    }
+    if (jsonl_) row.json = sweep_run_row_json(to_sweep_row(run, label));
+    return row;
   }
 
-  [[nodiscard]] std::string format_json(const SweepRun& run,
-                                        const std::string& label) {
-    if (!jsonl_) return {};
-    std::string out = "{\"point\":" + std::to_string(run.point);
-    out += ",\"label\":\"" + json_escape(label) + '"';
-    out += ",\"replication\":" + std::to_string(run.replication);
-    out += ",\"graph_seed\":" + std::to_string(run.graph_seed);
-    out += ",\"num_servers\":" + std::to_string(run.num_servers);
-    out += ",\"burned_fraction\":" + std::string(format_double_compact(run.burned_fraction));
-    out += ",\"decay_rate\":" + std::string(format_double_compact(run.decay_rate));
-    out += ",\"run\":" + run_record_json(run.record) + '}';
-    return out;
+  /// Durability order: stream bytes first, then the checkpoint record, so
+  /// the checkpoint never durably claims a row the streams lost.
+  void sync() {
+    if (csv_) csv_->flush();
+    if (jsonl_) jsonl_->flush();
+    if (checkpoint_) {
+      std::fflush(checkpoint_);
+#if defined(__unix__) || defined(__APPLE__)
+      ::fsync(fileno(checkpoint_));
+#endif
+    }
   }
 
   std::mutex mutex_;
   std::optional<CsvWriter> csv_;
   std::optional<std::ofstream> jsonl_;
+  std::FILE* checkpoint_ = nullptr;
   std::map<std::size_t, Row> pending_;
   std::size_t next_ = 0;
+  unsigned sync_interval_ = 16;
+  unsigned rows_since_sync_ = 0;
+  const std::function<void(std::size_t)>* hook_ = nullptr;
+  bool dead_ = false;
 };
+
+/// Complete ('\n'-terminated) lines in `path`, up to `max_lines`, plus the
+/// byte offset just past the last counted line.  Missing file counts zero.
+struct LineScan {
+  std::size_t lines = 0;
+  std::uint64_t offset = 0;
+};
+
+LineScan count_lines(const std::string& path, std::size_t max_lines) {
+  LineScan scan;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return scan;
+  char ch;
+  std::uint64_t pos = 0;
+  while (scan.lines < max_lines && in.get(ch)) {
+    ++pos;
+    if (ch == '\n') {
+      ++scan.lines;
+      scan.offset = pos;
+    }
+  }
+  return scan;
+}
+
+/// Complete CSV records, up to `max_records`: like count_lines, but a
+/// newline inside an RFC 4180 quoted field (labels are free-form and may
+/// contain '\n') does not terminate a record.  A `""` escape toggles the
+/// quote state twice, so plain parity tracking is exact.
+LineScan count_csv_records(const std::string& path, std::size_t max_records) {
+  LineScan scan;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return scan;
+  char ch;
+  std::uint64_t pos = 0;
+  bool quoted = false;
+  while (scan.lines < max_records && in.get(ch)) {
+    ++pos;
+    if (ch == '"') {
+      quoted = !quoted;
+    } else if (ch == '\n' && !quoted) {
+      ++scan.lines;
+      scan.offset = pos;
+    }
+  }
+  return scan;
+}
+
+struct CheckpointScan {
+  bool header_ok = false;
+  std::size_t total_runs = 0;
+  std::uint64_t fingerprint = 0;
+  std::size_t completed = 0;  ///< contiguous, parseable `run` lines
+};
+
+/// Reads a checkpoint file; tolerant of a torn tail (a hard kill can cut
+/// the final append): parsing stops at the first incomplete or malformed
+/// line and everything before it stands.
+CheckpointScan scan_checkpoint(const std::string& path) {
+  CheckpointScan scan;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return scan;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::size_t start = 0;
+  bool saw_header = false;
+  while (start < text.size()) {
+    const auto newline = text.find('\n', start);
+    if (newline == std::string::npos) break;  // torn tail: ignore
+    const std::string line = text.substr(start, newline - start);
+    start = newline + 1;
+    std::istringstream row(line);
+    if (!saw_header) {
+      std::string magic;
+      int version = 0;
+      unsigned long long total = 0, fingerprint = 0;
+      row >> magic >> version >> total >> fingerprint;
+      if (!row || magic != "saer-checkpoint" || version != 1) return scan;
+      scan.header_ok = true;
+      scan.total_runs = static_cast<std::size_t>(total);
+      scan.fingerprint = fingerprint;
+      saw_header = true;
+      continue;
+    }
+    std::string word;
+    unsigned long long index = 0;
+    std::uint32_t point = 0, replication = 0;
+    row >> word >> index >> point >> replication;
+    if (!row || word != "run" || index != scan.completed) break;
+    ++scan.completed;
+  }
+  return scan;
+}
+
+struct ResumePlan {
+  std::size_t frontier = 0;        ///< runs [0, frontier) are already done
+  std::vector<SweepRunRow> rows;   ///< their reloaded records
+};
+
+/// Reconstructs the durable frontier from checkpoint + streams, reloads the
+/// finished runs from the JSONL archive, and truncates every file to the
+/// frontier so the resumed sink appends the exact bytes an uninterrupted
+/// run would have written next.
+ResumePlan plan_resume(const SweepOptions& options,
+                       const std::vector<std::size_t>& offsets,
+                       const std::vector<SweepPoint>& grid,
+                       std::uint64_t fingerprint) {
+  ResumePlan plan;
+  const CheckpointScan checkpoint = scan_checkpoint(options.checkpoint_path);
+  if (!checkpoint.header_ok) return plan;  // missing or torn: start fresh
+  if (checkpoint.total_runs != offsets.back() ||
+      checkpoint.fingerprint != fingerprint) {
+    throw std::runtime_error("sweep: checkpoint " + options.checkpoint_path +
+                             " was written by a different grid; refusing to "
+                             "splice (delete it to restart)");
+  }
+
+  // Clamp the claimed frontier to the complete rows each stream actually
+  // holds: after a hard kill any file may be ahead of or behind the others.
+  std::size_t frontier = checkpoint.completed;
+  frontier = std::min(frontier, count_lines(options.jsonl_path, frontier).lines);
+  if (!options.csv_path.empty()) {
+    const LineScan csv = count_csv_records(options.csv_path, frontier + 1);
+    frontier = std::min(frontier, csv.lines ? csv.lines - 1 : 0);
+  }
+  if (frontier == 0) return plan;  // nothing durable: fresh sinks truncate
+
+  // Reload the finished runs (strict: a corrupt archive cannot be resumed).
+  const LineScan jsonl = count_lines(options.jsonl_path, frontier);
+  {
+    std::ifstream in(options.jsonl_path, std::ios::binary);
+    std::string head(jsonl.offset, '\0');
+    in.read(head.data(), static_cast<std::streamsize>(head.size()));
+    if (!in)
+      throw std::runtime_error("sweep: cannot re-read " + options.jsonl_path);
+    std::istringstream lines(head);
+    std::string line;
+    while (std::getline(lines, line)) {
+      SweepRunRow row;
+      try {
+        row = parse_sweep_run_row(line);
+      } catch (const std::exception& err) {
+        throw std::runtime_error("sweep: resume aborted, " +
+                                 options.jsonl_path + " line " +
+                                 std::to_string(plan.rows.size() + 1) + ": " +
+                                 err.what());
+      }
+      const std::size_t rank = plan.rows.size();
+      if (row.point >= grid.size() ||
+          row.replication >= grid[row.point].config.replications ||
+          offsets[row.point] + row.replication != rank ||
+          row.record.params.seed !=
+              replication_seed(grid[row.point].config.master_seed,
+                               2ULL * row.replication) ||
+          row.graph_seed !=
+              replication_seed(grid[row.point].config.master_seed,
+                               2ULL * row.replication + 1)) {
+        throw std::runtime_error(
+            "sweep: resume aborted, " + options.jsonl_path + " line " +
+            std::to_string(rank + 1) + " does not match the grid");
+      }
+      plan.rows.push_back(std::move(row));
+    }
+  }
+  plan.frontier = frontier;
+
+  // Truncate streams and checkpoint to the frontier: torn tails and rows
+  // past the last durable checkpoint record are recomputed, not trusted.
+  fs::resize_file(options.jsonl_path, jsonl.offset);
+  if (!options.csv_path.empty()) {
+    fs::resize_file(options.csv_path,
+                    count_csv_records(options.csv_path, frontier + 1).offset);
+  }
+  fs::resize_file(options.checkpoint_path,
+                  count_lines(options.checkpoint_path, frontier + 1).offset);
+  return plan;
+}
 
 /// Folds one replication into the aggregate with exactly the arithmetic the
 /// serial driver used, so replaying runs in order reproduces it bitwise.
 void accumulate(Aggregate& agg, const SweepRun& run) {
-  const RunRecord& rec = run.record;
-  if (rec.completed) {
-    ++agg.completed;
-    agg.rounds.add(static_cast<double>(rec.rounds));
-    agg.work_per_ball.add(rec.total_balls
-                              ? static_cast<double>(rec.work_messages) /
-                                    static_cast<double>(rec.total_balls)
-                              : 0.0);
-  } else {
-    ++agg.failed;
-  }
-  agg.max_load.add(static_cast<double>(rec.max_load));
-  agg.burned_fraction.add(run.burned_fraction);
-  agg.decay_rate.add(run.decay_rate);
+  accumulate_run(agg, run.record, run.burned_fraction, run.decay_rate);
 }
 
 }  // namespace
@@ -158,9 +447,28 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
   }
   const std::size_t total_runs = offsets.back();
 
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  if (checkpointing && options_.jsonl_path.empty()) {
+    throw std::invalid_argument(
+        "sweep: checkpoint_path requires jsonl_path (finished runs are "
+        "reloaded from the JSONL archive on resume)");
+  }
+  const std::uint64_t fingerprint =
+      checkpointing ? grid_fingerprint(grid) : 0;
+
+  ResumePlan resume;
+  if (checkpointing) {
+    resume = plan_resume(options_, offsets, grid, fingerprint);
+  }
+  const std::size_t frontier = resume.frontier;
+
   SweepResult result;
   result.runs.resize(total_runs);
   result.aggregates.resize(grid.size());
+  result.resumed_runs = frontier;
+  for (std::size_t i = 0; i < frontier; ++i) {
+    result.runs[i] = from_sweep_row(resume.rows[i]);
+  }
 
   ThreadPool pool(options_.jobs);
   result.jobs = pool.size();
@@ -168,13 +476,15 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
   // Phase 1: build shared topologies (resample_graph = false), one build per
   // unique (topology_key, graph seed) -- or per point when the key is 0.
   // The first point claiming a key supplies the factory; sharing a key
-  // asserts the factories draw from the same distribution.
+  // asserts the factories draw from the same distribution.  Points whose
+  // replications were all reloaded from a checkpoint need no graph.
   std::vector<std::shared_ptr<const BipartiteGraph>> shared_graphs(grid.size());
   {
     std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> owner;
     std::vector<std::size_t> alias(grid.size(), SIZE_MAX);
     for (std::size_t p = 0; p < grid.size(); ++p) {
       const SweepPoint& point = grid[p];
+      if (offsets[p + 1] <= frontier) continue;  // fully resumed
       if (point.config.resample_graph) continue;
       const std::uint64_t seed = replication_seed(point.config.master_seed, 1);
       if (point.topology_key != 0) {
@@ -197,12 +507,18 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
 
   std::optional<OrderedSink> sink;
   if (!options_.csv_path.empty() || !options_.jsonl_path.empty()) {
-    sink.emplace(options_.csv_path, options_.jsonl_path);
+    OrderedSink::Config config;
+    config.options = &options_;
+    config.start_index = frontier;
+    config.total_runs = total_runs;
+    config.fingerprint = fingerprint;
+    sink.emplace(config);
   }
 
-  // Phase 2: every replication is an independent task writing its own slot.
-  // Tasks lease engine workspaces from a shared pool, so at most one
-  // workspace exists per worker and replications allocate no run buffers.
+  // Phase 2: every pending replication is an independent task writing its
+  // own slot.  Tasks lease engine workspaces from a shared pool, so at most
+  // one workspace exists per worker and replications allocate no run
+  // buffers.  Runs below the resume frontier were reloaded, not re-run.
   WorkspacePool workspaces;
   const bool keep_traces = options_.keep_traces;
   for (std::size_t p = 0; p < grid.size(); ++p) {
@@ -210,6 +526,7 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
     const std::shared_ptr<const BipartiteGraph>& shared = shared_graphs[p];
     for (std::uint32_t rep = 0; rep < point.config.replications; ++rep) {
       const std::size_t index = offsets[p] + rep;
+      if (index < frontier) continue;
       SweepRun& slot = result.runs[index];
       pool.submit([&point, &slot, &sink, &workspaces, shared, p, rep, index,
                    keep_traces] {

@@ -8,14 +8,42 @@
 // preallocated slot, and aggregation replays the slots in (point,
 // replication) order after the pool drains.  Results, including streamed
 // CSV/JSONL bytes, are therefore bit-identical for any worker count,
-// matching serial execution.
+// matching serial execution.  The contract extends across interruption:
+// a sweep killed mid-grid and restarted with the same checkpoint_path
+// resumes after the last durably streamed run and splices the old and new
+// streams so the final CSV and JSONL files -- and the returned aggregates
+// -- are byte-identical to a single uninterrupted run (any mix of worker
+// counts before and after the restart).
+//
+// Checkpoint file format (text, append-only, written next to the JSONL
+// stream):
+//
+//   saer-checkpoint 1 <total_runs> <grid_fingerprint>
+//   run <index> <point> <replication>
+//   ...
+//
+// An index is appended only after its row hit the CSV/JSONL streams, and
+// the ordered sink writes rows strictly in global (point, replication)
+// rank order, so the run lines always describe a contiguous prefix of the
+// streams (index 0, 1, 2, ...).  The file is fsync'd every
+// `checkpoint_interval` rows, after flushing the stream sinks, so the
+// checkpoint never durably claims a row the streams lost.  On restart the
+// scheduler re-reads the checkpoint, clamps it to the complete rows
+// actually present in each stream (a hard kill can tear the final line of
+// any file; torn tails are discarded), truncates the streams to that
+// frontier, reloads the finished runs from the JSONL archive, and
+// re-leases workspaces only for the remainder.  A checkpoint written by a
+// different grid (the fingerprint or run count differs) is rejected.
 //
 // Topology reuse: points with resample_graph = false build their graph
 // once (seed replication_seed(master, 1), as before).  Points that
 // additionally share a non-zero `topology_key` AND that derived seed share
-// the single built instance across the whole grid.
+// the single built instance across the whole grid.  On resume, graphs are
+// built only for points that still have pending replications.
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,6 +68,12 @@ struct SweepPoint {
                                                std::uint64_t n,
                                                std::uint64_t extra = 0);
 
+/// Stable fingerprint over every run-defining field of a grid (labels,
+/// replication counts, master seeds, protocol parameters, topology keys).
+/// Checkpoints record it so a resume against a different grid is rejected
+/// instead of silently splicing mismatched runs.
+[[nodiscard]] std::uint64_t grid_fingerprint(const std::vector<SweepPoint>& grid);
+
 /// Outcome of a single replication.
 struct SweepRun {
   std::uint32_t point = 0;        ///< index into the grid
@@ -57,6 +91,7 @@ struct SweepResult {
   std::vector<SweepRun> runs;         ///< (point, replication) order
   double wall_seconds = 0.0;
   unsigned jobs = 0;                  ///< worker count actually used
+  std::size_t resumed_runs = 0;       ///< runs reloaded from a checkpoint
 };
 
 struct SweepOptions {
@@ -64,6 +99,18 @@ struct SweepOptions {
   std::string csv_path;      ///< stream per-run rows here ("" disables)
   std::string jsonl_path;    ///< stream per-run JSON objects ("" disables)
   bool keep_traces = false;  ///< retain per-round traces in SweepResult
+  /// Persist the streamed-run frontier here to make the sweep resumable
+  /// (see the file-format comment above).  Requires jsonl_path: the JSONL
+  /// stream is the archive finished runs are reloaded from.  Runs reloaded
+  /// on resume carry no per-round trace even with keep_traces.
+  std::string checkpoint_path;
+  /// Rows between checkpoint fsyncs (stream sinks are flushed first).
+  unsigned checkpoint_interval = 16;
+  /// Test hook: invoked under the stream lock after each in-order row is
+  /// written, with the global number of rows streamed so far.  Throwing
+  /// freezes the streams at that row and aborts the sweep -- the
+  /// crash/restart tests use this to simulate a kill mid-grid.
+  std::function<void(std::size_t rows_streamed)> on_row_streamed;
 };
 
 class SweepScheduler {

@@ -114,6 +114,17 @@ std::vector<double> CliArgs::get_double_list(
   return out;
 }
 
+std::vector<std::string> CliArgs::get_list(
+    const std::string& name, const std::vector<std::string>& fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  std::vector<std::string> out;
+  for (auto& part : split_commas(*v)) {
+    if (!part.empty()) out.push_back(std::move(part));
+  }
+  return out;
+}
+
 std::vector<std::string> CliArgs::unknown_flags() const {
   std::vector<std::string> unknown;
   for (const auto& [name, _] : values_) {

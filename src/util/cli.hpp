@@ -32,6 +32,8 @@ class CliArgs {
       const std::string& name, const std::vector<std::uint64_t>& fallback) const;
   [[nodiscard]] std::vector<double> get_double_list(
       const std::string& name, const std::vector<double>& fallback) const;
+  [[nodiscard]] std::vector<std::string> get_list(
+      const std::string& name, const std::vector<std::string>& fallback) const;
 
   /// Positional (non-flag) arguments in order.
   [[nodiscard]] const std::vector<std::string>& positional() const {

@@ -6,7 +6,9 @@
 
 namespace saer {
 
-CsvWriter::CsvWriter(const std::string& path) : file_(path), to_file_(true) {
+CsvWriter::CsvWriter(const std::string& path, bool append)
+    : file_(path, append ? (std::ios::out | std::ios::app) : std::ios::out),
+      to_file_(true) {
   if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
 }
 
@@ -70,6 +72,10 @@ void CsvWriter::end_row() {
 void CsvWriter::row(const std::vector<std::string>& cells) {
   for (const auto& c : cells) cell(c);
   end_row();
+}
+
+void CsvWriter::flush() {
+  if (to_file_) file_.flush();
 }
 
 std::string CsvWriter::str() const { return memory_.str(); }

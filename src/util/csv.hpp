@@ -12,7 +12,9 @@ namespace saer {
 class CsvWriter {
  public:
   /// Streams rows into `path`; throws std::runtime_error if it cannot open.
-  explicit CsvWriter(const std::string& path);
+  /// `append` continues an existing file (the caller owns not re-emitting
+  /// the header); used by the sweep scheduler's checkpoint resume.
+  explicit CsvWriter(const std::string& path, bool append = false);
   /// In-memory mode (tests, or when the caller wants the text).
   CsvWriter();
   ~CsvWriter();
@@ -35,6 +37,9 @@ class CsvWriter {
 
   /// Convenience: writes a whole row of preformatted cells.
   void row(const std::vector<std::string>& cells);
+
+  /// Flushes buffered rows to the file (no-op in in-memory mode).
+  void flush();
 
   [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
   /// In-memory contents (valid in in-memory mode only).

@@ -1,0 +1,297 @@
+// Crash/restart tests for sweep checkpoint/resume: a sweep aborted
+// mid-grid (via the on_row_streamed test hook) and restarted with the same
+// checkpoint must splice the old and new streams into CSV/JSONL bytes that
+// are identical to a single uninterrupted run, across worker counts and
+// torn-tail corruption.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "cli/commands.hpp"
+#include "graph/generators.hpp"
+#include "sim/sweep.hpp"
+
+namespace saer {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Thrown by the stream hook to simulate a kill mid-sweep.
+struct SimulatedCrash : std::runtime_error {
+  SimulatedCrash() : std::runtime_error("simulated crash") {}
+};
+
+GraphFactory regular_factory(NodeId n) {
+  return [n](std::uint64_t seed) { return random_regular(n, 16, seed); };
+}
+
+std::vector<SweepPoint> small_grid(double second_c = 4.0) {
+  std::vector<SweepPoint> grid;
+  for (const double c : {1.5, second_c}) {
+    SweepPoint point;
+    point.label = "c=" + std::to_string(c);
+    point.factory = regular_factory(128);
+    point.config.params.d = 2;
+    point.config.params.c = c;
+    point.config.replications = 6;
+    point.config.master_seed = 7;
+    point.topology_key = topology_cache_key("regular", 128);
+    grid.push_back(std::move(point));
+  }
+  return grid;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::size_t count_newlines(const std::string& text) {
+  return static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+}
+
+void expect_bitwise_equal(const Aggregate& a, const Aggregate& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  const auto expect_acc = [](const Accumulator& x, const Accumulator& y) {
+    EXPECT_EQ(x.count(), y.count());
+    EXPECT_EQ(x.mean(), y.mean());
+    EXPECT_EQ(x.variance(), y.variance());
+    EXPECT_EQ(x.min(), y.min());
+    EXPECT_EQ(x.max(), y.max());
+  };
+  expect_acc(a.rounds, b.rounds);
+  expect_acc(a.work_per_ball, b.work_per_ball);
+  expect_acc(a.max_load, b.max_load);
+  expect_acc(a.burned_fraction, b.burned_fraction);
+  expect_acc(a.decay_rate, b.decay_rate);
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("saer_ckpt_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] SweepOptions stream_options(const std::string& tag,
+                                            unsigned jobs,
+                                            bool checkpoint) const {
+    SweepOptions options;
+    options.jobs = jobs;
+    options.csv_path = (dir_ / (tag + ".csv")).string();
+    options.jsonl_path = (dir_ / (tag + ".jsonl")).string();
+    if (checkpoint) {
+      options.checkpoint_path = (dir_ / (tag + ".ckpt")).string();
+      options.checkpoint_interval = 1;
+    }
+    return options;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointTest, AbortedThenResumedSweepIsByteIdenticalAcrossJobs) {
+  const auto grid = small_grid();
+  const SweepOptions ref_options = stream_options("ref", 1, false);
+  const SweepResult reference = SweepScheduler(ref_options).run(grid);
+  const std::string ref_csv = read_file(ref_options.csv_path);
+  const std::string ref_jsonl = read_file(ref_options.jsonl_path);
+  ASSERT_EQ(count_newlines(ref_jsonl), 12u);
+
+  const unsigned resume_jobs[] = {8, 1, 4};
+  std::size_t variant = 0;
+  for (const unsigned jobs : {1u, 4u, 8u}) {
+    const std::string tag = "part" + std::to_string(jobs);
+    SweepOptions options = stream_options(tag, jobs, true);
+    constexpr std::size_t kAbortAfter = 5;
+    options.on_row_streamed = [](std::size_t rows) {
+      if (rows == kAbortAfter) throw SimulatedCrash();
+    };
+    EXPECT_THROW((void)SweepScheduler(options).run(grid), SimulatedCrash);
+
+    // The streams froze at exactly the abort row.
+    EXPECT_EQ(count_newlines(read_file(options.jsonl_path)), kAbortAfter);
+    EXPECT_EQ(count_newlines(read_file(options.csv_path)), 1 + kAbortAfter);
+
+    // Restart with the same checkpoint (and a different worker count).
+    options.on_row_streamed = nullptr;
+    options.jobs = resume_jobs[variant++];
+    const SweepResult resumed = SweepScheduler(options).run(grid);
+    EXPECT_EQ(resumed.resumed_runs, kAbortAfter);
+    EXPECT_EQ(read_file(options.csv_path), ref_csv) << "jobs=" << jobs;
+    EXPECT_EQ(read_file(options.jsonl_path), ref_jsonl) << "jobs=" << jobs;
+
+    ASSERT_EQ(resumed.aggregates.size(), reference.aggregates.size());
+    for (std::size_t p = 0; p < reference.aggregates.size(); ++p) {
+      expect_bitwise_equal(reference.aggregates[p], resumed.aggregates[p]);
+    }
+    ASSERT_EQ(resumed.runs.size(), reference.runs.size());
+    for (std::size_t i = 0; i < reference.runs.size(); ++i) {
+      EXPECT_EQ(reference.runs[i].protocol_seed, resumed.runs[i].protocol_seed);
+      EXPECT_EQ(reference.runs[i].graph_seed, resumed.runs[i].graph_seed);
+      EXPECT_EQ(reference.runs[i].record.rounds, resumed.runs[i].record.rounds);
+      EXPECT_EQ(reference.runs[i].burned_fraction,
+                resumed.runs[i].burned_fraction);
+      EXPECT_EQ(reference.runs[i].decay_rate, resumed.runs[i].decay_rate);
+    }
+  }
+}
+
+TEST_F(CheckpointTest, TornTailsAreDiscardedOnResume) {
+  const auto grid = small_grid();
+  const SweepOptions ref_options = stream_options("ref", 1, false);
+  (void)SweepScheduler(ref_options).run(grid);
+
+  SweepOptions options = stream_options("part", 4, true);
+  options.on_row_streamed = [](std::size_t rows) {
+    if (rows == 7) throw SimulatedCrash();
+  };
+  EXPECT_THROW((void)SweepScheduler(options).run(grid), SimulatedCrash);
+
+  // A hard kill can cut the final append of any file mid-line.
+  std::ofstream(options.jsonl_path, std::ios::app)
+      << "{\"point\":1,\"label\":\"c=";
+  std::ofstream(options.checkpoint_path, std::ios::app) << "run 7 1 ";
+  std::ofstream(options.csv_path, std::ios::app) << "1,c=4.0";
+
+  options.on_row_streamed = nullptr;
+  const SweepResult resumed = SweepScheduler(options).run(grid);
+  EXPECT_EQ(resumed.resumed_runs, 7u);
+  EXPECT_EQ(read_file(options.csv_path), read_file(ref_options.csv_path));
+  EXPECT_EQ(read_file(options.jsonl_path), read_file(ref_options.jsonl_path));
+}
+
+TEST_F(CheckpointTest, FrontierClampsToShortestStream) {
+  const auto grid = small_grid();
+  const SweepOptions ref_options = stream_options("ref", 1, false);
+  (void)SweepScheduler(ref_options).run(grid);
+
+  SweepOptions options = stream_options("part", 2, true);
+  options.on_row_streamed = [](std::size_t rows) {
+    if (rows == 6) throw SimulatedCrash();
+  };
+  EXPECT_THROW((void)SweepScheduler(options).run(grid), SimulatedCrash);
+
+  // Simulate the checkpoint being ahead of the streams (lost page cache):
+  // drop the last two JSONL rows; the resume must clamp to 4 and recompute.
+  const std::string jsonl = read_file(options.jsonl_path);
+  std::size_t cut = 0;
+  for (int lines = 0; lines < 4; ++lines) {
+    cut = jsonl.find('\n', cut);
+    ASSERT_NE(cut, std::string::npos);
+    ++cut;
+  }
+  fs::resize_file(options.jsonl_path, cut);
+  ASSERT_EQ(count_newlines(read_file(options.jsonl_path)), 4u);
+
+  options.on_row_streamed = nullptr;
+  const SweepResult resumed = SweepScheduler(options).run(grid);
+  EXPECT_EQ(resumed.resumed_runs, 4u);
+  EXPECT_EQ(read_file(options.csv_path), read_file(ref_options.csv_path));
+  EXPECT_EQ(read_file(options.jsonl_path), read_file(ref_options.jsonl_path));
+}
+
+TEST_F(CheckpointTest, RerunOfFinishedSweepReloadsEverything) {
+  std::atomic<int> builds{0};
+  std::vector<SweepPoint> grid = small_grid();
+  for (SweepPoint& point : grid) {
+    const GraphFactory inner = point.factory;
+    point.factory = [&builds, inner](std::uint64_t seed) {
+      builds.fetch_add(1);
+      return inner(seed);
+    };
+    point.topology_key = 0;
+  }
+  SweepOptions options = stream_options("done", 4, true);
+  (void)SweepScheduler(options).run(grid);
+  const int builds_first = builds.load();
+  EXPECT_GT(builds_first, 0);
+  const std::string jsonl = read_file(options.jsonl_path);
+
+  const SweepResult rerun = SweepScheduler(options).run(grid);
+  EXPECT_EQ(builds.load(), builds_first);  // nothing re-simulated
+  EXPECT_EQ(rerun.resumed_runs, rerun.runs.size());
+  EXPECT_EQ(read_file(options.jsonl_path), jsonl);
+}
+
+TEST_F(CheckpointTest, CheckpointRequiresJsonl) {
+  SweepOptions options;
+  options.checkpoint_path = (dir_ / "orphan.ckpt").string();
+  options.csv_path = (dir_ / "orphan.csv").string();
+  EXPECT_THROW((void)SweepScheduler(options).run(small_grid()),
+               std::invalid_argument);
+}
+
+TEST_F(CheckpointTest, CheckpointFromDifferentGridIsRejected) {
+  SweepOptions options = stream_options("grid", 2, true);
+  (void)SweepScheduler(options).run(small_grid(4.0));
+  EXPECT_THROW((void)SweepScheduler(options).run(small_grid(8.0)),
+               std::runtime_error);
+}
+
+TEST_F(CheckpointTest, CliResumeRejectsChangedTopologyFlags) {
+  // --delta lives inside the factory closure, invisible to the grid
+  // fingerprint itself; cmd_sweep must fold it into the topology keys so a
+  // resume with different graph parameters cannot splice mixed topologies.
+  const auto run_cli = [&](const std::string& delta) {
+    return cli::cmd_sweep(CliArgs(std::vector<std::string>{
+        "--topology", "regular", "--sizes", "128", "--cs", "2,4", "--reps",
+        "2", "--delta", delta, "--quiet", "--jsonl",
+        (dir_ / "cli.jsonl").string(), "--checkpoint",
+        (dir_ / "cli.ckpt").string()}));
+  };
+  EXPECT_EQ(run_cli("8"), 0);
+  EXPECT_THROW((void)run_cli("32"), std::runtime_error);
+  EXPECT_EQ(run_cli("8"), 0);  // unchanged flags still resume fine
+}
+
+TEST_F(CheckpointTest, LabelsWithNewlinesSpliceCorrectly) {
+  // CSV quoting keeps literal newlines inside label cells; the resume
+  // frontier must count records, not raw lines.
+  auto grid = small_grid();
+  grid[0].label = "line1\nline2,\"quoted\"";
+  grid[1].label = "\n\nleading";
+  const SweepOptions ref_options = stream_options("ref", 1, false);
+  (void)SweepScheduler(ref_options).run(grid);
+
+  SweepOptions options = stream_options("part", 2, true);
+  options.on_row_streamed = [](std::size_t rows) {
+    if (rows == 8) throw SimulatedCrash();
+  };
+  EXPECT_THROW((void)SweepScheduler(options).run(grid), SimulatedCrash);
+
+  options.on_row_streamed = nullptr;
+  const SweepResult resumed = SweepScheduler(options).run(grid);
+  EXPECT_EQ(resumed.resumed_runs, 8u);
+  EXPECT_EQ(read_file(options.csv_path), read_file(ref_options.csv_path));
+  EXPECT_EQ(read_file(options.jsonl_path), read_file(ref_options.jsonl_path));
+}
+
+TEST_F(CheckpointTest, MissingJsonlRestartsFromScratch) {
+  const auto grid = small_grid();
+  SweepOptions options = stream_options("lost", 2, true);
+  (void)SweepScheduler(options).run(grid);
+  const std::string jsonl = read_file(options.jsonl_path);
+  fs::remove(options.jsonl_path);
+
+  const SweepResult rerun = SweepScheduler(options).run(grid);
+  EXPECT_EQ(rerun.resumed_runs, 0u);
+  EXPECT_EQ(read_file(options.jsonl_path), jsonl);
+}
+
+}  // namespace
+}  // namespace saer

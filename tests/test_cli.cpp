@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "cli/commands.hpp"
 #include "graph/degree_stats.hpp"
@@ -108,8 +110,47 @@ TEST(CliDispatch, ExceptionsBecomeExitCode2) {
 
 TEST(CliUsage, MentionsAllCommands) {
   const std::string text = cli::usage();
-  for (const std::string cmd : {"generate", "stats", "run", "expander"})
+  for (const std::string cmd :
+       {"generate", "stats", "run", "expander", "sweep", "aggregate"})
     EXPECT_NE(text.find(cmd), std::string::npos) << cmd;
+  for (const std::string flag : {"--checkpoint", "--tolerant", "--agg-csv"})
+    EXPECT_NE(text.find(flag), std::string::npos) << flag;
+}
+
+TEST(CliAggregate, RequiresInputs) {
+  EXPECT_EQ(cli::cmd_aggregate(make_args({})), 2);
+}
+
+TEST(CliAggregate, MissingInputFileIsExitCode2ViaDispatch) {
+  const char* argv[] = {"saer", "aggregate", "/nonexistent/runs.jsonl"};
+  EXPECT_EQ(cli::dispatch(3, argv), 2);
+}
+
+TEST(CliAggregate, MultiInputDedupMatchesSingleInput) {
+  const auto dir = fs::temp_directory_path();
+  const auto jsonl = (dir / "saer_cli_agg_runs.jsonl").string();
+  const auto once = (dir / "saer_cli_agg_once.csv").string();
+  const auto twice = (dir / "saer_cli_agg_twice.csv").string();
+  const CliArgs sweep = make_args({"--topology", "ring", "--sizes", "128",
+                                   "--cs", "2,4", "--reps", "3", "--jobs",
+                                   "2", "--quiet", "--jsonl", jsonl});
+  ASSERT_EQ(cli::cmd_sweep(sweep), 0);
+  // The same stream passed twice (positional + --inputs) dedups to the
+  // aggregates of a single pass.
+  ASSERT_EQ(cli::cmd_aggregate(make_args({jsonl, "--csv", once, "--quiet"})),
+            0);
+  ASSERT_EQ(cli::cmd_aggregate(make_args(
+                {jsonl, "--inputs", jsonl, "--csv", twice, "--quiet"})),
+            0);
+  std::ifstream a(once), b(twice);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_FALSE(sa.str().empty());
+  EXPECT_EQ(sa.str(), sb.str());
+  fs::remove(jsonl);
+  fs::remove(once);
+  fs::remove(twice);
 }
 
 }  // namespace
