@@ -6,8 +6,18 @@
 // process remains stable (same load bound by construction) and its settle
 // time scales with the mean message delay, supporting the Section 4 claim
 // that the simple threshold structure tolerates less idealized execution.
+//
+// Runs as a sweep grid -- point 0 is the synchronous reference, then one
+// point per max_delay with a custom PointRunner wrapping run_async -- so
+// the binary inherits --jobs/--jsonl/--checkpoint/--shard.  In the
+// streamed async rows, `rounds` archives the finish *time*; the settle
+// percentiles live in a side table and render as "-" for rows reloaded
+// from a checkpoint archive.
 
+#include <algorithm>
 #include <cstdio>
+#include <limits>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "core/engine.hpp"
@@ -15,6 +25,16 @@
 #include "sim/figure.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+
+namespace {
+
+struct AsyncExtras {
+  double settle_mean = 0;
+  std::uint64_t settle_p99 = 0;
+  std::uint64_t finish_time = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace saer;
@@ -30,57 +50,103 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 3));
   const std::uint64_t seed = args.get_uint("seed", 42);
   const std::string topology = args.get("topology", "regular");
+  const SweepOptions sweep_options = benchfig::sweep_options(args);
   benchfig::reject_unknown_flags(args);
 
-  const GraphFactory factory = benchfig::make_factory(topology, n);
+  // One slot per (async point, replication); each runner writes its own.
+  std::vector<std::optional<AsyncExtras>> extras(delays.size() * reps);
 
-  // Synchronous reference.
-  Accumulator sync_rounds, sync_work;
-  for (std::uint32_t rep = 0; rep < reps; ++rep) {
-    const BipartiteGraph g = factory(replication_seed(seed, 2 * rep + 1));
-    ProtocolParams params;
-    params.d = d;
-    params.c = c;
-    params.seed = replication_seed(seed, 2 * rep);
-    const RunResult res = run_protocol(g, params);
-    sync_rounds.add(res.rounds);
-    sync_work.add(res.work_per_ball());
+  std::vector<SweepPoint> grid;
+  {
+    SweepPoint sync = benchfig::make_point(topology, n, reps, seed);
+    sync.label = "sync";
+    sync.config.params.d = d;
+    sync.config.params.c = c;
+    grid.push_back(std::move(sync));
+  }
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    SweepPoint point = benchfig::make_point(topology, n, reps, seed);
+    point.label = "delay=" + std::to_string(delays[i]);
+    point.config.params.d = d;
+    point.config.params.c = c;
+    point.runner = [&extras, base = i * reps,
+                    delay = static_cast<std::uint32_t>(delays[i])](
+                       const BipartiteGraph& graph,
+                       const ProtocolParams& params,
+                       std::uint32_t replication) {
+      AsyncParams ap;
+      ap.base = params;
+      ap.max_delay = delay;
+      const AsyncResult ares = run_async(graph, ap);
+      extras[base + replication] = AsyncExtras{
+          ares.settle_mean, ares.settle_p99, ares.finish_time};
+      RunResult res;
+      res.completed = ares.completed;
+      res.rounds = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          ares.finish_time, std::numeric_limits<std::uint32_t>::max()));
+      res.total_balls = ares.total_balls;
+      res.alive_balls = ares.unassigned_balls;
+      res.work_messages = ares.work_messages;
+      res.max_load = ares.max_load;
+      res.burned_servers = ares.burned_servers;
+      return res;
+    };
+    grid.push_back(std::move(point));
+  }
+  const SweepResult swept = SweepScheduler(sweep_options).run(grid);
+
+  // Fold every run (Aggregate averages rounds/work over completed runs
+  // only; this ablation's means have always covered all replications).
+  struct PointFold {
+    Accumulator rounds, work, load;
+    bool all_completed = true;
+  };
+  std::vector<PointFold> folds(grid.size());
+  for (const SweepRun& run : swept.runs) {
+    PointFold& fold = folds[run.point];
+    fold.rounds.add(run.record.rounds);
+    fold.work.add(run_record_work_per_ball(run.record));
+    fold.load.add(static_cast<double>(run.record.max_load));
+    fold.all_completed = fold.all_completed && run.record.completed;
   }
 
+  // Under --shard this slice may own no sync replication at all.
+  const std::string sync_ref =
+      folds[0].rounds.count()
+          ? Table::num(folds[0].rounds.mean(), 1) + " rounds, " +
+                Table::num(folds[0].work.mean(), 2) + " msg/ball"
+          : std::string("not in this shard");
   FigureWriter fig(
       "A2  async execution  (n=" + Table::num(std::uint64_t{n}) +
           ", d=" + std::to_string(d) + ", c=" + Table::num(c, 1) +
-          "; sync reference: " + Table::num(sync_rounds.mean(), 1) +
-          " rounds, " + Table::num(sync_work.mean(), 2) + " msg/ball)",
+          "; sync reference: " + sync_ref + ")",
       {"max_delay", "settle_mean", "settle_p99", "finish_time",
        "work_per_ball", "max_load", "completed"},
       csv);
 
-  for (const std::uint64_t delay : delays) {
-    Accumulator settle, p99, finish, work, load;
-    bool all_completed = true;
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    Accumulator settle, p99, finish;
     for (std::uint32_t rep = 0; rep < reps; ++rep) {
-      const BipartiteGraph g = factory(replication_seed(seed, 2 * rep + 1));
-      AsyncParams params;
-      params.base.d = d;
-      params.base.c = c;
-      params.base.seed = replication_seed(seed, 2 * rep);
-      params.max_delay = static_cast<std::uint32_t>(delay);
-      const AsyncResult res = run_async(g, params);
-      all_completed = all_completed && res.completed;
-      settle.add(res.settle_mean);
-      p99.add(static_cast<double>(res.settle_p99));
-      finish.add(static_cast<double>(res.finish_time));
-      work.add(static_cast<double>(res.work_messages) /
-               static_cast<double>(res.total_balls));
-      load.add(static_cast<double>(res.max_load));
+      const std::optional<AsyncExtras>& ex = extras[i * reps + rep];
+      if (!ex) continue;
+      settle.add(ex->settle_mean);
+      p99.add(static_cast<double>(ex->settle_p99));
+      finish.add(static_cast<double>(ex->finish_time));
     }
-    fig.add_row({Table::num(delay), Table::num(settle.mean(), 2),
-                 Table::num(p99.mean(), 1), Table::num(finish.mean(), 1),
-                 Table::num(work.mean(), 3), Table::num(load.mean(), 2),
-                 all_completed ? "yes" : "NO"});
+    // A point wholly owned by other shards has no folds: render "-"
+    // rather than empty-accumulator zeros posing as measurements.
+    const PointFold& fold = folds[1 + i];
+    const bool have = fold.rounds.count() > 0;
+    fig.add_row({Table::num(delays[i]),
+                 settle.count() ? Table::num(settle.mean(), 2) : "-",
+                 p99.count() ? Table::num(p99.mean(), 1) : "-",
+                 finish.count() ? Table::num(finish.mean(), 1) : "-",
+                 have ? Table::num(fold.work.mean(), 3) : "-",
+                 have ? Table::num(fold.load.mean(), 2) : "-",
+                 have ? (fold.all_completed ? "yes" : "NO") : "-"});
   }
   fig.finish();
+  benchfig::print_sweep_summary(swept, sweep_options);
   std::printf(
       "expected shape: settle time grows linearly in the mean delay with "
       "work/ball near the synchronous value; load bound c*d never violated "

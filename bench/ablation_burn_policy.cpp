@@ -5,6 +5,9 @@
 // RAES only rejects rounds that would overflow (saturated, transient).
 // DESIGN.md calls this the key design choice; this ablation quantifies its
 // cost across the capacity range where it matters (small c), per round.
+//
+// Runs as a sweep grid (one point per c x protocol), so the binary
+// inherits --jobs/--jsonl/--checkpoint/--shard from the scheduler.
 
 #include <cstdio>
 
@@ -26,7 +29,22 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
   const std::uint64_t seed = args.get_uint("seed", 42);
   const std::string topology = args.get("topology", "regular");
+  const SweepOptions sweep_options = benchfig::sweep_options(args);
   benchfig::reject_unknown_flags(args);
+
+  // Grid: c-major, then protocol -- point 2*ci + {0: SAER, 1: RAES}.
+  std::vector<SweepPoint> grid;
+  for (const double c : cs) {
+    for (const Protocol protocol : {Protocol::kSaer, Protocol::kRaes}) {
+      SweepPoint point = benchfig::make_point(topology, n, reps, seed);
+      point.label = to_string(protocol) + " c=" + Table::num(c, 2);
+      point.config.params.protocol = protocol;
+      point.config.params.d = d;
+      point.config.params.c = c;
+      grid.push_back(std::move(point));
+    }
+  }
+  const SweepResult swept = SweepScheduler(sweep_options).run(grid);
 
   FigureWriter fig(
       "A1  burn policy ablation  (n=" + Table::num(std::uint64_t{n}) +
@@ -35,31 +53,23 @@ int main(int argc, char** argv) {
        "saer_lost_capacity", "failures"},
       csv);
 
-  for (const double c : cs) {
-    ExperimentConfig cfg;
-    cfg.params.d = d;
-    cfg.params.c = c;
-    cfg.replications = reps;
-    cfg.master_seed = seed;
-    const GraphFactory factory = benchfig::make_factory(topology, n);
-    cfg.params.protocol = Protocol::kSaer;
-    const Aggregate saer = run_replicated(factory, cfg);
-    cfg.params.protocol = Protocol::kRaes;
-    const Aggregate raes = run_replicated(factory, cfg);
-
+  for (std::size_t ci = 0; ci < cs.size(); ++ci) {
+    const Aggregate& saer = swept.aggregates[2 * ci];
+    const Aggregate& raes = swept.aggregates[2 * ci + 1];
     // A burned server strands (cap - load) slots forever; approximate the
     // stranded fraction by burned_fraction * average headroom.
     const double slowdown = raes.rounds.mean() > 0
                                 ? saer.rounds.mean() / raes.rounds.mean()
                                 : 0.0;
     fig.add_row(
-        {Table::num(c, 2), Table::num(saer.rounds.mean(), 2),
+        {Table::num(cs[ci], 2), Table::num(saer.rounds.mean(), 2),
          Table::num(raes.rounds.mean(), 2), Table::num(slowdown, 2),
          Table::num(saer.burned_fraction.mean(), 4),
          Table::pct(saer.burned_fraction.mean()),  // upper bound on stranded
          Table::num(std::uint64_t{saer.failed + raes.failed})});
   }
   fig.finish();
+  benchfig::print_sweep_summary(swept, sweep_options);
   std::printf(
       "expected shape: SAER pays a growing rounds premium over RAES as c "
       "approaches 1 (burned servers strand capacity); the gap vanishes for "

@@ -16,8 +16,14 @@
 //   --checkpoint <path>   make the sweep resumable: rerun the identical
 //                         command to continue after an interruption
 //                         (requires a JSONL stream; see sim/sweep.hpp)
+//   --shard <i>/<k>       run only slice i of k (distributed sweeps):
+//                         launch k processes with identical flags,
+//                         shard-specific stream paths, and i = 0..k-1,
+//                         then fold the JSONL streams with
+//                         `saer aggregate` (bit-identical to 1 process)
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -70,7 +76,22 @@ inline SweepOptions sweep_options(const CliArgs& args) {
   options.checkpoint_path = args.get("checkpoint", "");
   options.checkpoint_interval = static_cast<unsigned>(
       args.get_uint("checkpoint-interval", options.checkpoint_interval));
+  apply_shard_flag(options, args.get("shard", ""));
   return options;
+}
+
+/// Standard epilogue for grid-API figure binaries: wall-clock summary plus
+/// a reminder, when sharded, that the rendered table covers only this
+/// shard's replications (fold the shards' JSONL streams for the figure).
+inline void print_sweep_summary(const SweepResult& swept,
+                                const SweepOptions& options) {
+  std::printf("sweep: %zu runs in %.3f s (%u jobs%s", swept.runs.size(),
+              swept.wall_seconds, swept.jobs,
+              shard_summary(options, swept.total_runs).c_str());
+  if (swept.resumed_runs) {
+    std::printf(", %zu resumed from checkpoint", swept.resumed_runs);
+  }
+  std::printf(")\n%s", shard_note(options).c_str());
 }
 
 /// Grid point at (topology, n) with the factory, label, and topology cache

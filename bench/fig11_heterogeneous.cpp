@@ -3,6 +3,12 @@
 // skewed distribution; the capacity stays c*d.  Expected shape: completion
 // and work/ball match (or beat) the uniform-d case because the system is
 // strictly less loaded.
+//
+// Runs as a sweep grid (one point per demand profile) with a custom
+// PointRunner wrapping run_protocol_demands, so the binary inherits
+// --jobs/--jsonl/--checkpoint/--shard.  The per-replication demand vector
+// derives from the replication's protocol seed, keeping the run a pure
+// function of (graph, params, replication).
 
 #include <cstdio>
 #include <vector>
@@ -50,7 +56,30 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
   const std::uint64_t seed = args.get_uint("seed", 42);
   const std::string topology = args.get("topology", "regular");
+  const SweepOptions sweep_options = benchfig::sweep_options(args);
   benchfig::reject_unknown_flags(args);
+
+  const std::vector<std::string> kinds = {"uniform-d", "uniform-0..d",
+                                          "bimodal", "sparse"};
+  std::vector<SweepPoint> grid;
+  for (const std::string& kind : kinds) {
+    SweepPoint point = benchfig::make_point(topology, n, reps, seed);
+    point.label = kind;
+    point.config.params.d = d;
+    point.config.params.c = c;
+    point.runner = [kind, n, d](const BipartiteGraph& graph,
+                                const ProtocolParams& params, std::uint32_t) {
+      // Demand seed derived from the protocol seed so the vector is unique
+      // per replication yet independent of the engine's own draws.
+      const auto demands =
+          make_demands(kind, n, d, replication_seed(params.seed, 1));
+      const RunResult res = run_protocol_demands(graph, params, demands);
+      check_result_demands(graph, params, demands, res);
+      return res;
+    };
+    grid.push_back(std::move(point));
+  }
+  const SweepResult swept = SweepScheduler(sweep_options).run(grid);
 
   FigureWriter fig(
       "F11  heterogeneous demands  (n=" + Table::num(std::uint64_t{n}) +
@@ -61,37 +90,22 @@ int main(int argc, char** argv) {
        "max_load", "failures"},
       csv);
 
-  const GraphFactory factory = benchfig::make_factory(topology, n);
-  for (const std::string kind :
-       {"uniform-d", "uniform-0..d", "bimodal", "sparse"}) {
-    Accumulator rounds, work, load, balls;
-    std::uint32_t failures = 0;
-    for (std::uint32_t rep = 0; rep < reps; ++rep) {
-      const std::uint64_t gseed = replication_seed(seed, 3 * rep);
-      const std::uint64_t dseed = replication_seed(seed, 3 * rep + 1);
-      const BipartiteGraph g = factory(gseed);
-      ProtocolParams params;
-      params.d = d;
-      params.c = c;
-      params.seed = replication_seed(seed, 3 * rep + 2);
-      const auto demands = make_demands(kind, n, d, dseed);
-      const RunResult res = run_protocol_demands(g, params, demands);
-      check_result_demands(g, params, demands, res);
-      balls.add(static_cast<double>(res.total_balls));
-      load.add(static_cast<double>(res.max_load));
-      if (res.completed) {
-        rounds.add(res.rounds);
-        work.add(res.work_per_ball());
-      } else {
-        ++failures;
-      }
-    }
-    fig.add_row({kind, Table::num(balls.mean(), 0),
-                 Table::num(rounds.mean(), 2), Table::num(work.mean(), 3),
-                 Table::num(load.mean(), 2),
-                 Table::num(std::uint64_t{failures})});
+  // total_balls is not part of Aggregate; fold it from the per-run rows.
+  std::vector<Accumulator> balls(grid.size());
+  for (const SweepRun& run : swept.runs) {
+    balls[run.point].add(static_cast<double>(run.record.total_balls));
+  }
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const Aggregate& agg = swept.aggregates[i];
+    fig.add_row({kinds[i],
+                 balls[i].count() ? Table::num(balls[i].mean(), 0) : "-",
+                 Table::num(agg.rounds.mean(), 2),
+                 Table::num(agg.work_per_ball.mean(), 3),
+                 Table::num(agg.max_load.mean(), 2),
+                 Table::num(std::uint64_t{agg.failed})});
   }
   fig.finish();
+  benchfig::print_sweep_summary(swept, sweep_options);
   std::printf(
       "expected shape: lighter demand profiles finish at least as fast as "
       "uniform-d with lower work/ball and the same c*d load bound (the "

@@ -85,11 +85,12 @@ int main(int argc, char** argv) {
   // SAER contrast row at c = 2, scheduled as a one-point sweep.  The means
   // intentionally cover every run (not only completed ones), matching the
   // original serial row.
+  SweepResult swept;
   {
     SweepPoint point = benchfig::make_point(topology, n, reps, seed);
     point.config.params.d = d;
     point.config.params.c = 2.0;
-    const SweepResult swept = SweepScheduler(sweep_options).run({point});
+    swept = SweepScheduler(sweep_options).run({point});
     Accumulator load, work, rounds;
     for (const SweepRun& run : swept.runs) {
       load.add(static_cast<double>(run.record.max_load));
@@ -104,6 +105,7 @@ int main(int argc, char** argv) {
                  Table::num(work.mean(), 3)});
   }
   fig.finish();
+  benchfig::print_sweep_summary(swept, sweep_options);
   std::printf(
       "expected shape: parallel-greedy load falls with r following the "
       "(log n/log log n)^(1/r) curve; SAER pins the load at c*d for "

@@ -3,6 +3,9 @@
 // scale d up to log n and beyond at fixed n and ask whether the O(log n)
 // completion and O(1) work per ball persist when the system carries
 // n*d >> n balls.
+//
+// Runs as a sweep grid (one point per d), so the binary inherits
+// --jobs/--jsonl/--checkpoint/--shard from the scheduler.
 
 #include <cmath>
 #include <cstdio>
@@ -23,12 +26,23 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
   const std::uint64_t seed = args.get_uint("seed", 42);
   const std::string topology = args.get("topology", "regular");
+  const SweepOptions sweep_options = benchfig::sweep_options(args);
   benchfig::reject_unknown_flags(args);
 
   const auto logn = static_cast<std::uint32_t>(
       std::lround(std::log2(static_cast<double>(n))));
   const std::vector<std::uint32_t> ds = {
       1, 2, 4, logn / 2, logn, 2 * logn, 4 * logn};
+
+  std::vector<SweepPoint> grid;
+  for (const std::uint32_t d : ds) {
+    SweepPoint point = benchfig::make_point(topology, n, reps, seed);
+    point.label = "d=" + std::to_string(d);
+    point.config.params.d = d;
+    point.config.params.c = c;
+    grid.push_back(std::move(point));
+  }
+  const SweepResult swept = SweepScheduler(sweep_options).run(grid);
 
   FigureWriter fig(
       "F16  heavy load  (n=" + Table::num(std::uint64_t{n}) +
@@ -37,14 +51,9 @@ int main(int argc, char** argv) {
        "cap=c*d", "failure_rate"},
       csv);
 
-  for (const std::uint32_t d : ds) {
-    ExperimentConfig cfg;
-    cfg.params.d = d;
-    cfg.params.c = c;
-    cfg.replications = reps;
-    cfg.master_seed = seed;
-    const Aggregate agg =
-        run_replicated(benchfig::make_factory(topology, n), cfg);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const std::uint32_t d = ds[i];
+    const Aggregate& agg = swept.aggregates[i];
     fig.add_row({Table::num(std::uint64_t{d}),
                  Table::num(static_cast<std::uint64_t>(n) * d),
                  Table::num(agg.rounds.mean(), 2),
@@ -54,6 +63,7 @@ int main(int argc, char** argv) {
                  Table::pct(agg.failure_rate())});
   }
   fig.finish();
+  benchfig::print_sweep_summary(swept, sweep_options);
   std::printf(
       "expected shape: completion *improves* with d (relative fluctuations "
       "of r_t(u) shrink as d grows), work/ball tends to 2, max load tracks "

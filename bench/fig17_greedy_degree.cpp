@@ -5,6 +5,11 @@
 // sweeps the degree from very sparse to dense and contrasts greedy-2's max
 // load with SAER's bound and one-shot's -- locating where the two-choice
 // effect needs degree to kick in, versus SAER which only needs log^2 n.
+//
+// The SAER column runs as a sweep grid (one point per delta), so the
+// binary inherits --jobs/--jsonl/--checkpoint/--shard; the greedy and
+// one-shot baselines are cheap single passes and stay inline, rebuilt from
+// the same per-replication seeds the scheduler derives.
 
 #include <algorithm>
 #include <cmath>
@@ -29,6 +34,7 @@ int main(int argc, char** argv) {
   const auto d = static_cast<std::uint32_t>(args.get_uint("d", 1));
   const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
   const std::uint64_t seed = args.get_uint("seed", 42);
+  const SweepOptions sweep_options = benchfig::sweep_options(args);
   benchfig::reject_unknown_flags(args);
 
   const double log2n = std::log2(static_cast<double>(n));
@@ -44,6 +50,22 @@ int main(int argc, char** argv) {
   std::sort(deltas.begin(), deltas.end());
   deltas.erase(std::unique(deltas.begin(), deltas.end()), deltas.end());
 
+  std::vector<SweepPoint> grid;
+  for (const std::uint32_t delta : deltas) {
+    SweepPoint point;
+    point.label = "delta=" + std::to_string(delta);
+    point.factory = [n, delta](std::uint64_t s) {
+      return random_regular(n, delta, s);
+    };
+    point.config.params.d = d;
+    point.config.params.c = 2.0;
+    point.config.replications = reps;
+    point.config.master_seed = seed;
+    point.topology_key = topology_cache_key("regular", n, delta);
+    grid.push_back(std::move(point));
+  }
+  const SweepResult swept = SweepScheduler(sweep_options).run(grid);
+
   FigureWriter fig(
       "F17  greedy-2 vs degree  (n=" + Table::num(std::uint64_t{n}) +
           ", d=" + std::to_string(d) +
@@ -53,9 +75,20 @@ int main(int argc, char** argv) {
        "saer_rounds (0 = incomplete)"},
       csv);
 
-  for (const std::uint32_t delta : deltas) {
-    Accumulator greedy_load, oneshot_load, saer_load, saer_rounds;
+  // SAER folds: rounds counts incomplete runs as 0 (matching the original
+  // serial column), which Aggregate does not, so fold from the raw runs.
+  std::vector<Accumulator> saer_load(grid.size()), saer_rounds(grid.size());
+  for (const SweepRun& run : swept.runs) {
+    saer_load[run.point].add(static_cast<double>(run.record.max_load));
+    saer_rounds[run.point].add(
+        run.record.completed ? run.record.rounds : 0);
+  }
+
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const std::uint32_t delta = deltas[i];
+    Accumulator greedy_load, oneshot_load;
     for (std::uint32_t rep = 0; rep < reps; ++rep) {
+      // Same derived seeds as the scheduler's replications.
       const std::uint64_t gseed = replication_seed(seed, 2 * rep + 1);
       const std::uint64_t pseed = replication_seed(seed, 2 * rep);
       const BipartiteGraph g = random_regular(n, delta, gseed);
@@ -63,21 +96,19 @@ int main(int argc, char** argv) {
           static_cast<double>(sequential_greedy_k(g, d, 2, pseed).max_load));
       oneshot_load.add(
           static_cast<double>(one_shot_random(g, d, pseed).max_load));
-      ProtocolParams params;
-      params.d = d;
-      params.c = 2.0;
-      params.seed = pseed;
-      const RunResult res = run_protocol(g, params);
-      saer_load.add(static_cast<double>(res.max_load));
-      saer_rounds.add(res.completed ? res.rounds : 0);
     }
+    // SAER cells are empty when this delta's runs all belong to another
+    // shard: render "-" rather than empty-accumulator zeros.
     fig.add_row({Table::num(std::uint64_t{delta}),
                  Table::num(greedy_load.mean(), 2),
                  Table::num(oneshot_load.mean(), 2),
-                 Table::num(saer_load.mean(), 2),
-                 Table::num(saer_rounds.mean(), 1)});
+                 saer_load[i].count() ? Table::num(saer_load[i].mean(), 2)
+                                      : "-",
+                 saer_rounds[i].count() ? Table::num(saer_rounds[i].mean(), 1)
+                                        : "-"});
   }
   fig.finish();
+  benchfig::print_sweep_summary(swept, sweep_options);
   std::printf(
       "expected shape: greedy-2 approaches the Theta(log log n) plateau "
       "once neighborhoods are large enough (K&P need n^(1/log log n) ~ "

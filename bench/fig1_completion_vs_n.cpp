@@ -74,8 +74,7 @@ int main(int argc, char** argv) {
     }
   }
   fig.finish();
-  std::printf("sweep: %zu runs in %.3f s (%u jobs)\n", swept.runs.size(),
-              swept.wall_seconds, swept.jobs);
+  benchfig::print_sweep_summary(swept, sweep_options);
 
   if (xs.size() >= 3) {
     const LinearFit fit = fit_log2(xs, ys);

@@ -54,9 +54,11 @@ int main(int argc, char** argv) {
   }
   const SweepResult swept = SweepScheduler(sweep_options).run(grid);
 
-  for (std::size_t i = 0; i < cs.size(); ++i) {
-    const double c = cs[i];
-    const RunRecord& rec = swept.runs[i].record;
+  // Iterate the runs this process holds (all of them unsharded, the slice
+  // under --shard) and recover each one's c from its grid point.
+  for (const SweepRun& run : swept.runs) {
+    const double c = cs[run.point];
+    const RunRecord& rec = run.record;
 
     const GammaSequence gamma{c, 1.0};
     const std::uint32_t T = stage_boundary_T(c, 1.0, d, delta, n);
@@ -92,7 +94,6 @@ int main(int argc, char** argv) {
                 "small c may exceed it)\n",
                 s_peak);
   }
-  std::printf("sweep: %zu runs in %.3f s (%u jobs)\n", swept.runs.size(),
-              swept.wall_seconds, swept.jobs);
+  benchfig::print_sweep_summary(swept, sweep_options);
   return 0;
 }

@@ -97,8 +97,7 @@ int main(int argc, char** argv) {
                  Table::num(std::uint64_t{saer.failed + raes.failed})});
   }
   fig.finish();
-  std::printf("sweep: %zu runs in %.3f s (%u jobs)\n", swept.runs.size(),
-              swept.wall_seconds, swept.jobs);
+  benchfig::print_sweep_summary(swept, sweep_options);
 
   std::printf(
       "baselines (mean max load over %u reps): one-shot=%.2f  "

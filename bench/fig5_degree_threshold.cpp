@@ -83,8 +83,7 @@ int main(int argc, char** argv) {
                  Table::pct(agg.failure_rate())});
   }
   fig.finish();
-  std::printf("sweep: %zu runs in %.3f s (%u jobs)\n", swept.runs.size(),
-              swept.wall_seconds, swept.jobs);
+  benchfig::print_sweep_summary(swept, sweep_options);
   std::printf(
       "expected shape: stable O(log n) completion at delta >= log^2 n "
       "(ratio >= 1); degradation, if any, confined to the sparse end\n");

@@ -2,13 +2,33 @@
 // arrivals plus permanent server failures on a proximity topology; the
 // paper conjectures SAER reaches a metastable regime with good
 // performance.  Reported: backlog peak, latency percentiles, max load.
+//
+// Runs as a sweep grid (one point per scenario) with a custom PointRunner
+// that maps the dynamic process onto the standard run observables, so the
+// binary inherits --jobs/--jsonl/--checkpoint/--shard.  The dynamic-only
+// columns (backlog, latency) are captured in a side table by the runner;
+// for runs reloaded from a checkpoint they are not re-derivable from the
+// archive and render as "-".
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "core/dynamic.hpp"
 #include "sim/figure.hpp"
+
+namespace {
+
+/// Dynamic-only observables, outside the standard sweep row.
+struct DynamicExtras {
+  std::uint64_t backlog_peak = 0;
+  std::uint32_t latency_p50 = 0;
+  std::uint32_t latency_p99 = 0;
+  std::uint64_t failed_servers = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace saer;
@@ -21,9 +41,8 @@ int main(int argc, char** argv) {
   const auto d = static_cast<std::uint32_t>(args.get_uint("d", 2));
   const double c = args.get_double("c", 4.0);
   const std::uint64_t seed = args.get_uint("seed", 42);
+  const SweepOptions sweep_options = benchfig::sweep_options(args);
   benchfig::reject_unknown_flags(args);
-
-  const BipartiteGraph graph = ring_proximity(n, theorem_degree(n));
 
   struct Scenario {
     std::string label;
@@ -39,6 +58,52 @@ int main(int argc, char** argv) {
       {"n/256 per round, 0.1% churn", n / 256, 0.001},
   };
 
+  // One slot per (point, replication=0); each runner writes only its own.
+  std::vector<std::optional<DynamicExtras>> extras(scenarios.size());
+
+  std::vector<SweepPoint> grid;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& sc = scenarios[i];
+    SweepPoint point;
+    point.label = sc.label;
+    // One shared ring topology for every scenario (deterministic builder).
+    point.factory = [n](std::uint64_t) {
+      return ring_proximity(n, theorem_degree(n));
+    };
+    point.config.params.d = d;
+    point.config.params.c = c;
+    point.config.replications = 1;
+    point.config.master_seed = seed;
+    point.config.resample_graph = false;
+    point.topology_key = topology_cache_key("ring", n);
+    point.runner = [sc, &slot = extras[i]](const BipartiteGraph& graph,
+                                           const ProtocolParams& params,
+                                           std::uint32_t) {
+      DynamicParams p;
+      p.base = params;
+      p.arrivals_per_round = sc.arrivals;
+      p.server_failure_rate = sc.failure_rate;
+      const DynamicResult dyn = run_dynamic(graph, p);
+      std::uint64_t backlog_peak = 0;
+      for (const std::uint64_t b : dyn.backlog_series) {
+        backlog_peak = std::max(backlog_peak, b);
+      }
+      slot = DynamicExtras{backlog_peak, dyn.latency_p50, dyn.latency_p99,
+                           dyn.failed_servers};
+      RunResult res;
+      res.completed = dyn.completed;
+      res.rounds = dyn.rounds;
+      res.total_balls = dyn.total_balls;
+      res.alive_balls = dyn.unassigned_balls;
+      res.work_messages = dyn.work_messages;
+      res.max_load = dyn.max_load;
+      res.burned_servers = dyn.burned_servers;
+      return res;
+    };
+    grid.push_back(std::move(point));
+  }
+  const SweepResult swept = SweepScheduler(sweep_options).run(grid);
+
   FigureWriter fig(
       "F9  dynamic regime on ring proximity  (n=" +
           Table::num(std::uint64_t{n}) + ", d=" + std::to_string(d) +
@@ -47,25 +112,20 @@ int main(int argc, char** argv) {
        "latency_p99", "max_load", "burned", "failed_servers"},
       csv);
 
-  for (const Scenario& sc : scenarios) {
-    DynamicParams p;
-    p.base.d = d;
-    p.base.c = c;
-    p.base.seed = seed;
-    p.arrivals_per_round = sc.arrivals;
-    p.server_failure_rate = sc.failure_rate;
-    const DynamicResult res = run_dynamic(graph, p);
-    std::uint64_t backlog_peak = 0;
-    for (std::uint64_t b : res.backlog_series)
-      backlog_peak = std::max(backlog_peak, b);
-    fig.add_row({sc.label, Table::num(std::uint64_t{res.rounds}),
-                 res.completed ? "yes" : "NO", Table::num(backlog_peak),
-                 Table::num(std::uint64_t{res.latency_p50}),
-                 Table::num(std::uint64_t{res.latency_p99}),
-                 Table::num(res.max_load), Table::num(res.burned_servers),
-                 Table::num(res.failed_servers)});
+  for (const SweepRun& run : swept.runs) {
+    const std::optional<DynamicExtras>& ex = extras[run.point];
+    fig.add_row({scenarios[run.point].label,
+                 Table::num(std::uint64_t{run.record.rounds}),
+                 run.record.completed ? "yes" : "NO",
+                 ex ? Table::num(ex->backlog_peak) : "-",
+                 ex ? Table::num(std::uint64_t{ex->latency_p50}) : "-",
+                 ex ? Table::num(std::uint64_t{ex->latency_p99}) : "-",
+                 Table::num(run.record.max_load),
+                 Table::num(run.record.burned_servers),
+                 ex ? Table::num(ex->failed_servers) : "-"});
   }
   fig.finish();
+  benchfig::print_sweep_summary(swept, sweep_options);
   std::printf(
       "expected shape: staggered arrivals keep the backlog a small fraction "
       "of n*d with p99 latency O(1) rounds; mild churn tolerated without "

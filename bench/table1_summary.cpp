@@ -1,6 +1,10 @@
 // Table T1: headline summary -- Theorem 1 / Corollary 2 predictions next to
 // measurements for both protocols across d, at the theorem's degree scale.
+//
+// Runs as a sweep grid (one point per d x protocol), so the binary
+// inherits --jobs/--jsonl/--checkpoint/--shard from the scheduler.
 
+#include <cmath>
 #include <cstdio>
 
 #include "analysis/recurrences.hpp"
@@ -21,7 +25,22 @@ int main(int argc, char** argv) {
   const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
   const std::uint64_t seed = args.get_uint("seed", 42);
   const std::string topology = args.get("topology", "regular");
+  const SweepOptions sweep_options = benchfig::sweep_options(args);
   benchfig::reject_unknown_flags(args);
+
+  // Grid: d-major, then protocol -- point 2*di + {0: SAER, 1: RAES}.
+  std::vector<SweepPoint> grid;
+  for (const std::uint64_t d64 : ds) {
+    for (const Protocol protocol : {Protocol::kSaer, Protocol::kRaes}) {
+      SweepPoint point = benchfig::make_point(topology, n, reps, seed);
+      point.label = to_string(protocol) + " d=" + std::to_string(d64);
+      point.config.params.protocol = protocol;
+      point.config.params.d = static_cast<std::uint32_t>(d64);
+      point.config.params.c = c;
+      grid.push_back(std::move(point));
+    }
+  }
+  const SweepResult swept = SweepScheduler(sweep_options).run(grid);
 
   FigureWriter fig(
       "T1  Theorem 1 / Corollary 2 summary  (n=" +
@@ -33,27 +52,23 @@ int main(int argc, char** argv) {
        "work/ball (O(1))", "max_load (<= c*d)", "cap", "failures"},
       csv);
 
-  for (const std::uint64_t d64 : ds) {
-    const auto d = static_cast<std::uint32_t>(d64);
+  for (std::size_t di = 0; di < ds.size(); ++di) {
+    const auto d = static_cast<std::uint32_t>(ds[di]);
     for (const Protocol protocol : {Protocol::kSaer, Protocol::kRaes}) {
-      ExperimentConfig cfg;
-      cfg.params.protocol = protocol;
-      cfg.params.d = d;
-      cfg.params.c = c;
-      cfg.replications = reps;
-      cfg.master_seed = seed;
-      const Aggregate agg =
-          run_replicated(benchfig::make_factory(topology, n), cfg);
-      fig.add_row({to_string(protocol), Table::num(d64),
+      const std::size_t p =
+          2 * di + (protocol == Protocol::kRaes ? 1 : 0);
+      const Aggregate& agg = swept.aggregates[p];
+      fig.add_row({to_string(protocol), Table::num(ds[di]),
                    Table::num(agg.rounds.mean(), 2) + " +/- " +
                        Table::num(agg.rounds.ci95(), 2),
                    Table::num(agg.work_per_ball.mean(), 3),
                    Table::num(agg.max_load.mean(), 2),
-                   Table::num(cfg.params.capacity()),
+                   Table::num(ProtocolParams{.d = d, .c = c}.capacity()),
                    Table::num(std::uint64_t{agg.failed})});
     }
   }
   fig.finish();
+  benchfig::print_sweep_summary(swept, sweep_options);
 
   const TheoremPrediction pred = theorem1_prediction(n, 2, c, 1.0, 1.0);
   std::printf("%s\n", describe(pred).c_str());

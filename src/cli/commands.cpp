@@ -273,7 +273,19 @@ int cmd_sweep(const CliArgs& args) {
   options.checkpoint_path = args.get("checkpoint", "");
   options.checkpoint_interval = static_cast<unsigned>(
       args.get_uint("checkpoint-interval", options.checkpoint_interval));
+  apply_shard_flag(options, args.get("shard", ""));
   const std::string agg_csv = args.get("agg-csv", "");
+  if (!agg_csv.empty() && options.shard_count > 1) {
+    // A shard's aggregate CSV would carry the canonical full-grid schema
+    // with only 1/k of the replications folded in -- a silent footgun for
+    // downstream plotting.
+    std::fprintf(stderr,
+                 "sweep: --agg-csv is not available with --shard (it would "
+                 "aggregate only this shard's runs); fold all shards with "
+                 "`saer aggregate <shard jsonl files> --csv %s` instead\n",
+                 agg_csv.c_str());
+    return 2;
+  }
   const SweepResult result = SweepScheduler(options).run(grid);
 
   const std::vector<PointAggregate> aggregates =
@@ -283,13 +295,14 @@ int cmd_sweep(const CliArgs& args) {
     write_aggregate_csv(csv, aggregates);
   }
   if (!quiet) print_aggregate_table(aggregates);
-  std::printf("sweep: %zu runs over %zu points in %.3f s (%u jobs",
+  std::printf("sweep: %zu runs over %zu points in %.3f s (%u jobs%s",
               result.runs.size(), grid.size(), result.wall_seconds,
-              result.jobs);
+              result.jobs, shard_summary(options, result.total_runs).c_str());
   if (result.resumed_runs) {
     std::printf(", %zu resumed from checkpoint", result.resumed_runs);
   }
   std::printf(")\n");
+  if (!quiet) std::printf("%s", shard_note(options).c_str());
   return 0;
 }
 
@@ -334,9 +347,15 @@ std::string usage() {
          "            [--protocol saer|raes|both] [--reps R] [--seed S]\n"
          "            [--jobs N] [--csv PATH] [--jsonl PATH] [--share-graph]\n"
          "            [--checkpoint PATH] [--checkpoint-interval K]\n"
-         "            [--agg-csv PATH] [--quiet]\n"
+         "            [--shard I/K] [--agg-csv PATH] [--quiet]\n"
          "            (--checkpoint makes the sweep resumable: rerun the\n"
          "             identical command to continue after an interruption)\n"
+         "            (--shard I/K runs slice I of K: launch K processes\n"
+         "             with identical flags, shard-specific stream paths,\n"
+         "             and I = 0..K-1, then fold the shards' JSONL streams\n"
+         "             with `saer aggregate` -- output is bit-identical to\n"
+         "             one process running the whole grid; requires --jsonl,\n"
+         "             and --agg-csv is refused per shard)\n"
          "  aggregate RUNS.jsonl [MORE.jsonl ...] | --inputs A.jsonl,B.jsonl\n"
          "            [--csv PATH] [--tolerant] [--quiet]\n"
          "topologies: regular ring grid trust almost complete\n";

@@ -38,6 +38,74 @@ std::uint64_t topology_cache_key(const std::string& generator, std::uint64_t n,
   return h ? h : 1;  // keep 0 reserved for "no cross-point reuse"
 }
 
+ShardSpec parse_shard(const std::string& text) {
+  const auto fail = [&text]() -> ShardSpec {
+    throw std::invalid_argument("--shard expects i/k with 0 <= i < k, e.g. "
+                                "0/4 (got '" +
+                                text + "')");
+  };
+  const auto slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 == text.size()) {
+    return fail();
+  }
+  const auto parse_field = [&](std::size_t begin, std::size_t end,
+                               unsigned long long& out) {
+    if (begin == end || end - begin > 9) return false;  // < 10^9 is plenty
+    out = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (text[i] < '0' || text[i] > '9') return false;
+      out = out * 10 + static_cast<unsigned long long>(text[i] - '0');
+    }
+    return true;
+  };
+  unsigned long long index = 0, count = 0;
+  if (!parse_field(0, slash, index) ||
+      !parse_field(slash + 1, text.size(), count) || count == 0 ||
+      index >= count) {
+    return fail();
+  }
+  return ShardSpec{static_cast<unsigned>(index), static_cast<unsigned>(count)};
+}
+
+std::vector<std::size_t> shard_run_ranks(std::size_t total_runs,
+                                         const ShardSpec& spec) {
+  if (spec.count == 0 || spec.index >= spec.count) {
+    throw std::invalid_argument("sweep: shard index " +
+                                std::to_string(spec.index) +
+                                " out of range for shard count " +
+                                std::to_string(spec.count));
+  }
+  std::vector<std::size_t> ranks;
+  ranks.reserve(total_runs / spec.count + 1);
+  for (std::size_t r = spec.index; r < total_runs; r += spec.count) {
+    ranks.push_back(r);
+  }
+  return ranks;
+}
+
+void apply_shard_flag(SweepOptions& options, const std::string& flag_value) {
+  if (flag_value.empty()) return;
+  const ShardSpec spec = parse_shard(flag_value);
+  options.shard_index = spec.index;
+  options.shard_count = spec.count;
+}
+
+std::string shard_summary(const SweepOptions& options,
+                          std::size_t total_runs) {
+  if (options.shard_count <= 1) return {};
+  return ", shard " + std::to_string(options.shard_index) + "/" +
+         std::to_string(options.shard_count) + " of " +
+         std::to_string(total_runs) + " grid runs";
+}
+
+std::string shard_note(const SweepOptions& options) {
+  if (options.shard_count <= 1) return {};
+  return "shard " + std::to_string(options.shard_index) + "/" +
+         std::to_string(options.shard_count) +
+         ": the table above covers only this shard's runs; fold every "
+         "shard's JSONL stream with `saer aggregate`\n";
+}
+
 std::uint64_t grid_fingerprint(const std::vector<SweepPoint>& grid) {
   std::uint64_t h = 0x5eed'c8ec'9017ULL;
   for (const SweepPoint& point : grid) {
@@ -350,15 +418,17 @@ struct ResumePlan {
 /// Reconstructs the durable frontier from checkpoint + streams, reloads the
 /// finished runs from the JSONL archive, and truncates every file to the
 /// frontier so the resumed sink appends the exact bytes an uninterrupted
-/// run would have written next.
+/// run would have written next.  `shard_ranks` maps this process's local
+/// run ranks (what the files index) to global grid ranks.
 ResumePlan plan_resume(const SweepOptions& options,
                        const std::vector<std::size_t>& offsets,
                        const std::vector<SweepPoint>& grid,
+                       const std::vector<std::size_t>& shard_ranks,
                        std::uint64_t fingerprint) {
   ResumePlan plan;
   const CheckpointScan checkpoint = scan_checkpoint(options.checkpoint_path);
   if (!checkpoint.header_ok) return plan;  // missing or torn: start fresh
-  if (checkpoint.total_runs != offsets.back() ||
+  if (checkpoint.total_runs != shard_ranks.size() ||
       checkpoint.fingerprint != fingerprint) {
     throw std::runtime_error("sweep: checkpoint " + options.checkpoint_path +
                              " was written by a different grid; refusing to "
@@ -367,7 +437,7 @@ ResumePlan plan_resume(const SweepOptions& options,
 
   // Clamp the claimed frontier to the complete rows each stream actually
   // holds: after a hard kill any file may be ahead of or behind the others.
-  std::size_t frontier = checkpoint.completed;
+  std::size_t frontier = std::min(checkpoint.completed, shard_ranks.size());
   frontier = std::min(frontier, count_lines(options.jsonl_path, frontier).lines);
   if (!options.csv_path.empty()) {
     const LineScan csv = count_csv_records(options.csv_path, frontier + 1);
@@ -398,7 +468,7 @@ ResumePlan plan_resume(const SweepOptions& options,
       const std::size_t rank = plan.rows.size();
       if (row.point >= grid.size() ||
           row.replication >= grid[row.point].config.replications ||
-          offsets[row.point] + row.replication != rank ||
+          offsets[row.point] + row.replication != shard_ranks[rank] ||
           row.record.params.seed !=
               replication_seed(grid[row.point].config.master_seed,
                                2ULL * row.replication) ||
@@ -447,25 +517,55 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
   }
   const std::size_t total_runs = offsets.back();
 
+  // Shard slice: this process executes only shard_ranks (all ranks when
+  // unsharded).  Everything downstream -- streams, checkpoint lines,
+  // result.runs -- is indexed by the *local* rank, i.e. the position in
+  // shard_ranks; seeds still derive from the global (point, replication).
+  const ShardSpec shard{options_.shard_index, std::max(1u, options_.shard_count)};
+  const bool sharded = shard.count > 1;
+  const std::vector<std::size_t> shard_ranks = shard_run_ranks(total_runs, shard);
+  // Local rank offsets per point: point p owns locals [lo[p], lo[p+1]).
+  std::vector<std::size_t> local_offsets(grid.size() + 1, 0);
+  {
+    std::size_t p = 0;
+    for (std::size_t l = 0; l < shard_ranks.size(); ++l) {
+      while (shard_ranks[l] >= offsets[p + 1]) local_offsets[++p] = l;
+    }
+    while (p < grid.size()) local_offsets[++p] = shard_ranks.size();
+  }
+
+  if (sharded && options_.jsonl_path.empty()) {
+    throw std::invalid_argument(
+        "sweep: --shard requires a JSONL stream (the shards' streams are "
+        "what `saer aggregate` folds back together; without one this "
+        "slice's work would be unrecoverable)");
+  }
   const bool checkpointing = !options_.checkpoint_path.empty();
   if (checkpointing && options_.jsonl_path.empty()) {
     throw std::invalid_argument(
         "sweep: checkpoint_path requires jsonl_path (finished runs are "
         "reloaded from the JSONL archive on resume)");
   }
-  const std::uint64_t fingerprint =
-      checkpointing ? grid_fingerprint(grid) : 0;
+  // Fold the shard slice into the fingerprint: a shard's checkpoint names
+  // both its index and count, so no other slice (nor an unsharded run) can
+  // splice it.
+  std::uint64_t fingerprint = checkpointing ? grid_fingerprint(grid) : 0;
+  if (checkpointing && sharded) {
+    fingerprint = mix64(mix64(fingerprint, shard.count), shard.index);
+    if (!fingerprint) fingerprint = 1;
+  }
 
   ResumePlan resume;
   if (checkpointing) {
-    resume = plan_resume(options_, offsets, grid, fingerprint);
+    resume = plan_resume(options_, offsets, grid, shard_ranks, fingerprint);
   }
   const std::size_t frontier = resume.frontier;
 
   SweepResult result;
-  result.runs.resize(total_runs);
+  result.runs.resize(shard_ranks.size());
   result.aggregates.resize(grid.size());
   result.resumed_runs = frontier;
+  result.total_runs = total_runs;
   for (std::size_t i = 0; i < frontier; ++i) {
     result.runs[i] = from_sweep_row(resume.rows[i]);
   }
@@ -476,15 +576,19 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
   // Phase 1: build shared topologies (resample_graph = false), one build per
   // unique (topology_key, graph seed) -- or per point when the key is 0.
   // The first point claiming a key supplies the factory; sharing a key
-  // asserts the factories draw from the same distribution.  Points whose
-  // replications were all reloaded from a checkpoint need no graph.
+  // asserts the factories draw from the same distribution.  Points with no
+  // pending replication in this shard (all resumed, or sliced away) need no
+  // graph.
   std::vector<std::shared_ptr<const BipartiteGraph>> shared_graphs(grid.size());
   {
     std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> owner;
     std::vector<std::size_t> alias(grid.size(), SIZE_MAX);
     for (std::size_t p = 0; p < grid.size(); ++p) {
       const SweepPoint& point = grid[p];
-      if (offsets[p + 1] <= frontier) continue;  // fully resumed
+      if (local_offsets[p + 1] <= frontier ||
+          local_offsets[p + 1] == local_offsets[p]) {
+        continue;  // nothing pending here
+      }
       if (point.config.resample_graph) continue;
       const std::uint64_t seed = replication_seed(point.config.master_seed, 1);
       if (point.topology_key != 0) {
@@ -510,23 +614,25 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
     OrderedSink::Config config;
     config.options = &options_;
     config.start_index = frontier;
-    config.total_runs = total_runs;
+    config.total_runs = shard_ranks.size();
     config.fingerprint = fingerprint;
     sink.emplace(config);
   }
 
-  // Phase 2: every pending replication is an independent task writing its
-  // own slot.  Tasks lease engine workspaces from a shared pool, so at most
-  // one workspace exists per worker and replications allocate no run
-  // buffers.  Runs below the resume frontier were reloaded, not re-run.
+  // Phase 2: every pending replication of this shard is an independent task
+  // writing its own slot.  Tasks lease engine workspaces from a shared
+  // pool, so at most one workspace exists per worker and replications
+  // allocate no run buffers.  Runs below the resume frontier were reloaded,
+  // not re-run; runs of other shards are not touched at all.
   WorkspacePool workspaces;
   const bool keep_traces = options_.keep_traces;
   for (std::size_t p = 0; p < grid.size(); ++p) {
     const SweepPoint& point = grid[p];
     const std::shared_ptr<const BipartiteGraph>& shared = shared_graphs[p];
-    for (std::uint32_t rep = 0; rep < point.config.replications; ++rep) {
-      const std::size_t index = offsets[p] + rep;
-      if (index < frontier) continue;
+    for (std::size_t index = std::max(local_offsets[p], frontier);
+         index < local_offsets[p + 1]; ++index) {
+      const auto rep =
+          static_cast<std::uint32_t>(shard_ranks[index] - offsets[p]);
       SweepRun& slot = result.runs[index];
       pool.submit([&point, &slot, &sink, &workspaces, shared, p, rep, index,
                    keep_traces] {
@@ -541,8 +647,13 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
 
         ProtocolParams params = point.config.params;
         params.seed = protocol_seed;
-        const WorkspaceLease lease(workspaces);
-        const RunResult res = run_protocol(graph, params, *lease);
+        RunResult res;
+        if (point.runner) {
+          res = point.runner(graph, params, rep);
+        } else {
+          const WorkspaceLease lease(workspaces);
+          res = run_protocol(graph, params, *lease);
+        }
 
         slot.point = static_cast<std::uint32_t>(p);
         slot.replication = rep;
@@ -567,8 +678,11 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
   pool.wait_idle();
 
   // Replay slots in (point, replication) order: bit-identical to serial.
+  // A shard folds only its own runs; `saer aggregate` over every shard's
+  // stream replays the union in the same global order, restoring full-grid
+  // aggregates bit-exactly.
   for (std::size_t p = 0; p < grid.size(); ++p) {
-    for (std::size_t i = offsets[p]; i < offsets[p + 1]; ++i) {
+    for (std::size_t i = local_offsets[p]; i < local_offsets[p + 1]; ++i) {
       accumulate(result.aggregates[p], result.runs[i]);
     }
   }

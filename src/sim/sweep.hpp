@@ -40,6 +40,19 @@
 // additionally share a non-zero `topology_key` AND that derived seed share
 // the single built instance across the whole grid.  On resume, graphs are
 // built only for points that still have pending replications.
+//
+// Distributed sharding: with shard_count = k > 1 the scheduler executes
+// only the runs whose global (point, replication) rank r satisfies
+// r % k == shard_index -- a round-robin partition, so the shards of any k
+// are disjoint, cover the grid, and stay balanced across points.  Seeds
+// are derived from the global rank exactly as in a single-process run, so
+// the union of the shards' JSONL streams folds through `saer aggregate`
+// into aggregates (and an aggregate CSV) bit-identical to one process
+// running the whole grid.  Each shard must stream to its own csv/jsonl/
+// checkpoint paths; checkpoint `run` lines and stream rows use the
+// shard-local rank, and the recorded fingerprint folds in (index, count),
+// so shard i can never resume from shard j's checkpoint (nor a sharded
+// run from an unsharded one).
 
 #include <cstddef>
 #include <cstdint>
@@ -52,6 +65,19 @@
 
 namespace saer {
 
+/// Optional per-point executor: maps (graph, params, replication) to a
+/// RunResult.  `params.seed` is already the replication's derived protocol
+/// seed.  Used by figure binaries whose execution model is not the plain
+/// synchronous engine (dynamic arrivals, async delays, weighted balls,
+/// heterogeneous demands, bisection drivers): they translate their native
+/// result into the standard RunResult observables so the run still streams,
+/// checkpoints, shards, and aggregates like any other.  Must be a pure
+/// function of (graph, params, replication) for the determinism contract
+/// to hold.  Null selects run_protocol in a pooled workspace.
+using PointRunner = std::function<RunResult(
+    const BipartiteGraph& graph, const ProtocolParams& params,
+    std::uint32_t replication)>;
+
 /// One grid point: a topology factory plus a full experiment config.
 struct SweepPoint {
   std::string label;     ///< free-form tag echoed into records ("n=4096")
@@ -61,12 +87,34 @@ struct SweepPoint {
   /// points with the same non-zero key, resample_graph = false, and the
   /// same master seed reuse one built graph.  0 disables cross-point reuse.
   std::uint64_t topology_key = 0;
+  /// Custom executor (see PointRunner); null runs the standard engine.
+  /// Closures are invisible to grid_fingerprint -- points with distinct
+  /// runners must carry distinct labels for checkpoint safety.
+  PointRunner runner;
 };
 
 /// Stable hash for building topology keys from generator name + parameters.
 [[nodiscard]] std::uint64_t topology_cache_key(const std::string& generator,
                                                std::uint64_t n,
                                                std::uint64_t extra = 0);
+
+/// One process's slice of a distributed sweep: shard `index` of `count`.
+struct ShardSpec {
+  unsigned index = 0;
+  unsigned count = 1;
+};
+
+/// Parses a `--shard i/k` value ("0/4", "3/8", ...).  Throws
+/// std::invalid_argument unless both sides are plain decimals with
+/// 0 <= i < k.
+[[nodiscard]] ShardSpec parse_shard(const std::string& text);
+
+/// The global (point, replication) ranks shard `spec.index` of `spec.count`
+/// executes: ranks congruent to the index mod the count, ascending.  For
+/// any count k the k shards partition [0, total_runs) -- pairwise disjoint,
+/// union complete -- which tests/test_shard.cpp asserts as a property.
+[[nodiscard]] std::vector<std::size_t> shard_run_ranks(std::size_t total_runs,
+                                                       const ShardSpec& spec);
 
 /// Stable fingerprint over every run-defining field of a grid (labels,
 /// replication counts, master seeds, protocol parameters, topology keys).
@@ -87,11 +135,17 @@ struct SweepRun {
 };
 
 struct SweepResult {
-  std::vector<Aggregate> aggregates;  ///< one per grid point
-  std::vector<SweepRun> runs;         ///< (point, replication) order
+  /// One per grid point.  In a sharded run these fold only this shard's
+  /// replications (partial); `saer aggregate` over all shards' JSONL
+  /// streams reproduces the full-grid aggregates bit-exactly.
+  std::vector<Aggregate> aggregates;
+  /// This process's runs in global (point, replication) order -- the whole
+  /// grid when unsharded, the shard's slice otherwise.
+  std::vector<SweepRun> runs;
   double wall_seconds = 0.0;
   unsigned jobs = 0;                  ///< worker count actually used
   std::size_t resumed_runs = 0;       ///< runs reloaded from a checkpoint
+  std::size_t total_runs = 0;         ///< grid-wide run count (all shards)
 };
 
 struct SweepOptions {
@@ -106,12 +160,31 @@ struct SweepOptions {
   std::string checkpoint_path;
   /// Rows between checkpoint fsyncs (stream sinks are flushed first).
   unsigned checkpoint_interval = 16;
+  /// This process's slice of the grid (see the sharding comment above).
+  /// index must be < count; count <= 1 runs the whole grid.  Every shard
+  /// needs its own csv/jsonl/checkpoint paths.
+  unsigned shard_index = 0;
+  unsigned shard_count = 1;
   /// Test hook: invoked under the stream lock after each in-order row is
   /// written, with the global number of rows streamed so far.  Throwing
   /// freezes the streams at that row and aborts the sweep -- the
   /// crash/restart tests use this to simulate a kill mid-grid.
   std::function<void(std::size_t rows_streamed)> on_row_streamed;
 };
+
+/// Applies a raw `--shard` flag value ("" = flag absent, leave unsharded)
+/// to the options.  The single parsing path shared by `saer sweep` and the
+/// figure binaries (bench_common).
+void apply_shard_flag(SweepOptions& options, const std::string& flag_value);
+
+/// ", shard i/k of N grid runs" for a sharded options set, "" otherwise --
+/// appended to the one-line sweep summaries.
+[[nodiscard]] std::string shard_summary(const SweepOptions& options,
+                                        std::size_t total_runs);
+
+/// Canonical one-line reminder (with trailing newline) that a sharded
+/// process's tables cover only its slice; "" when unsharded.
+[[nodiscard]] std::string shard_note(const SweepOptions& options);
 
 class SweepScheduler {
  public:

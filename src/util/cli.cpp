@@ -1,9 +1,87 @@
 #include "util/cli.hpp"
 
+#include <cctype>
 #include <cstdlib>
 #include <stdexcept>
 
 namespace saer {
+
+namespace {
+
+// Strict numeric parsing shared by every getter: the whole token must be
+// consumed (so `--n 10x` is an error, not 10) and every failure names the
+// flag and the offending value instead of leaking a bare std::stoll
+// exception from deep inside a figure binary.
+
+[[noreturn]] void throw_invalid_number(const std::string& name,
+                                       const std::string& value) {
+  throw std::invalid_argument("--" + name + ": invalid number '" + value +
+                              "'");
+}
+
+[[noreturn]] void throw_out_of_range(const std::string& name,
+                                     const std::string& value) {
+  throw std::invalid_argument("--" + name + ": number out of range '" +
+                              value + "'");
+}
+
+std::int64_t parse_int_token(const std::string& name,
+                             const std::string& value) {
+  std::size_t consumed = 0;
+  std::int64_t parsed = 0;
+  try {
+    parsed = std::stoll(value, &consumed);
+  } catch (const std::invalid_argument&) {
+    throw_invalid_number(name, value);
+  } catch (const std::out_of_range&) {
+    throw_out_of_range(name, value);
+  }
+  if (consumed != value.size()) throw_invalid_number(name, value);
+  return parsed;
+}
+
+std::uint64_t parse_uint_token(const std::string& name,
+                               const std::string& value) {
+  // std::stoull silently wraps negatives ("-1" -> UINT64_MAX), so reject a
+  // leading '-' explicitly; going through stoll instead would lose the
+  // upper half of the uint64 range (the old bug).
+  std::size_t first = 0;
+  while (first < value.size() &&
+         std::isspace(static_cast<unsigned char>(value[first]))) {
+    ++first;
+  }
+  if (first < value.size() && value[first] == '-') {
+    throw std::invalid_argument("--" + name + " must be >= 0 (got '" +
+                                value + "')");
+  }
+  std::size_t consumed = 0;
+  std::uint64_t parsed = 0;
+  try {
+    parsed = std::stoull(value, &consumed);
+  } catch (const std::invalid_argument&) {
+    throw_invalid_number(name, value);
+  } catch (const std::out_of_range&) {
+    throw_out_of_range(name, value);
+  }
+  if (consumed != value.size()) throw_invalid_number(name, value);
+  return parsed;
+}
+
+double parse_double_token(const std::string& name, const std::string& value) {
+  std::size_t consumed = 0;
+  double parsed = 0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::invalid_argument&) {
+    throw_invalid_number(name, value);
+  } catch (const std::out_of_range&) {
+    throw_out_of_range(name, value);
+  }
+  if (consumed != value.size()) throw_invalid_number(name, value);
+  return parsed;
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const* argv) {
   std::vector<std::string> args;
@@ -52,27 +130,28 @@ std::string CliArgs::get(const std::string& name, const std::string& fallback) c
 std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
   const auto v = raw(name);
   if (!v) return fallback;
-  return std::stoll(*v);
+  return parse_int_token(name, *v);
 }
 
 std::uint64_t CliArgs::get_uint(const std::string& name, std::uint64_t fallback) const {
   const auto v = raw(name);
   if (!v) return fallback;
-  const auto parsed = std::stoll(*v);
-  if (parsed < 0) throw std::invalid_argument("--" + name + " must be >= 0");
-  return static_cast<std::uint64_t>(parsed);
+  return parse_uint_token(name, *v);
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto v = raw(name);
   if (!v) return fallback;
-  return std::stod(*v);
+  return parse_double_token(name, *v);
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   const auto v = raw(name);
   if (!v) return fallback;
-  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  throw std::invalid_argument("--" + name + ": invalid boolean '" + *v +
+                              "' (expected true/false/1/0/yes/no/on/off)");
 }
 
 namespace {
@@ -98,7 +177,7 @@ std::vector<std::uint64_t> CliArgs::get_uint_list(
   if (!v) return fallback;
   std::vector<std::uint64_t> out;
   for (const auto& part : split_commas(*v)) {
-    if (!part.empty()) out.push_back(static_cast<std::uint64_t>(std::stoull(part)));
+    if (!part.empty()) out.push_back(parse_uint_token(name, part));
   }
   return out;
 }
@@ -109,7 +188,7 @@ std::vector<double> CliArgs::get_double_list(
   if (!v) return fallback;
   std::vector<double> out;
   for (const auto& part : split_commas(*v)) {
-    if (!part.empty()) out.push_back(std::stod(part));
+    if (!part.empty()) out.push_back(parse_double_token(name, part));
   }
   return out;
 }

@@ -3,6 +3,12 @@
 // Accepts `--name value` and `--name=value`; `--flag` alone is boolean true.
 // Unrecognized flags are collected so binaries can reject typos, but
 // google-benchmark's own `--benchmark_*` flags are passed through.
+//
+// Numeric getters are strict: the whole token must parse (`--n 10x` is an
+// error, not 10), unsigned getters cover the full uint64 range and reject
+// negatives, and get_bool accepts only true/false/1/0/yes/no/on/off.
+// Every parse failure throws std::invalid_argument naming the flag and the
+// offending value.
 
 #include <cstdint>
 #include <map>
