@@ -74,6 +74,93 @@ void BM_SaerRunWorkspace(benchmark::State& state) {
 }
 BENCHMARK(BM_SaerRunWorkspace)->Arg(1 << 12)->Arg(1 << 14);
 
+// Large-n scaling points for the radix engine.  theorem_degree(2^22) would
+// need ~2e9 edges (tens of GiB of adjacency), so the multi-million-node
+// benchmarks fix delta = 16: the subject is the engine's per-ball /
+// per-server hot path and its memory footprint, not the generator.
+const BipartiteGraph& cached_sparse_regular(NodeId n) {
+  static std::map<NodeId, BipartiteGraph> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, random_regular(n, 16, 7)).first;
+  }
+  return it->second;
+}
+
+void BM_SaerRunLargeN(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const BipartiteGraph& g = cached_sparse_regular(n);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 2.0;
+  params.record_trace = false;
+  EngineWorkspace workspace;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    params.seed = ++seed;
+    const RunResult res = run_protocol(g, params, workspace);
+    benchmark::DoNotOptimize(res.max_load);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * 2);
+  state.counters["balls/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n * 2,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SaerRunLargeN)->Arg(1 << 20)->Arg(1 << 22)
+    ->Unit(benchmark::kMillisecond);
+
+// The memory-lean mode at the same shapes: the delta to BM_SaerRunLargeN
+// is the cost of materializing (and filling) the O(n*d) assignment vector.
+void BM_SaerRunNoAssignment(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const BipartiteGraph& g = cached_sparse_regular(n);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 2.0;
+  params.record_trace = false;
+  params.store_assignment = false;
+  EngineWorkspace workspace;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    params.seed = ++seed;
+    const RunResult res = run_protocol(g, params, workspace);
+    benchmark::DoNotOptimize(res.max_load);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * 2);
+  state.counters["balls/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n * 2,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SaerRunNoAssignment)->Arg(1 << 20)->Arg(1 << 22)
+    ->Unit(benchmark::kMillisecond);
+
+// Pinned at the sparse/dense threshold: heterogeneous demands put round
+// 1's alive count 4 balls below (arg 0) or above (arg 1) n_servers / 8, so
+// the run enters on exactly the touch-list or the block-scan path.  The
+// pair bounds the cost step across the threshold; results are identical by
+// the determinism contract.
+void BM_SaerThresholdBoundary(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(1 << 14);
+  const BipartiteGraph& g = cached_regular(n);
+  ProtocolParams params;
+  params.d = 1;
+  params.c = 2.0;
+  params.record_trace = false;
+  const NodeId active = n / 8 + (state.range(0) ? 4 : -4);
+  std::vector<std::uint32_t> demands(n, 0);
+  for (NodeId v = 0; v < active; ++v) demands[v] = 1;
+  EngineWorkspace workspace;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    params.seed = ++seed;
+    const RunResult res = run_protocol_demands(g, params, demands, workspace);
+    benchmark::DoNotOptimize(res.max_load);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          active);
+}
+BENCHMARK(BM_SaerThresholdBoundary)->Arg(0)->Arg(1);
+
 // Sparse tail: c=1.5 stretches completion to ~28 rounds at n=2^14 with a
 // geometrically shrinking alive set -- the regime where the touched-server
 // lists replace the former O(n_servers)-per-round fixed costs.

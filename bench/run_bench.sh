@@ -13,17 +13,27 @@
 #   BENCH_MIN_TIME   --benchmark_min_time value; newer google-benchmark
 #                    releases (>= 1.8) want a unit suffix like "0.2s"
 #                    (default: 0.2)
+#   BENCH_ALLOW_UNOPTIMIZED=1  skip the Release-build check (for debugging
+#                    the harness only -- never record a baseline this way)
 #   OMP_NUM_THREADS  pin intra-run OpenMP threads; the checked-in baselines
 #                    are recorded with OMP_NUM_THREADS=1
 #
 # The checked-in BENCH_<PR>.json files at the repo root are snapshots of
 # this script's output, one per PR that moved engine performance, so the
 # perf trajectory is diffable across PRs.
+#
+# Build-type enforcement: numbers from a non-Release build are a useless
+# baseline (BENCH_2.json's context shows how easy it is to misread: its
+# `library_build_type: "debug"` describes the INSTALLED google-benchmark
+# library, not our binary).  This script therefore (a) refuses to run
+# unless BUILD_DIR was configured with CMAKE_BUILD_TYPE=Release, and (b)
+# stamps the verified build type into the JSON context as
+# `saer_build_type`, which is the field CI and reviewers should assert on.
 set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${1:-BENCH.json}"
-FILTER="${BENCH_FILTER:-BM_SaerRun|BM_SaerRunWorkspace|BM_SaerSparseRounds|BM_RaesRun|BM_SweepScheduler}"
+FILTER="${BENCH_FILTER:-BM_SaerRun/|BM_SaerRunWorkspace|BM_SaerRunLargeN|BM_SaerRunNoAssignment|BM_SaerThresholdBoundary|BM_SaerSparseRounds|BM_RaesRun|BM_SweepScheduler}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
 BENCH="$BUILD_DIR/bench_engine"
@@ -34,9 +44,24 @@ if [[ ! -x "$BENCH" ]]; then
   exit 1
 fi
 
+CACHE="$BUILD_DIR/CMakeCache.txt"
+BUILD_TYPE="unknown"
+if [[ -f "$CACHE" ]]; then
+  BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$CACHE" | head -n1)"
+  BUILD_TYPE="${BUILD_TYPE:-unset}"
+fi
+if [[ "$BUILD_TYPE" != "Release" && "${BENCH_ALLOW_UNOPTIMIZED:-0}" != "1" ]]; then
+  echo "run_bench.sh: refusing to benchmark a non-Release build" >&2
+  echo "  $CACHE says CMAKE_BUILD_TYPE=$BUILD_TYPE" >&2
+  echo "Reconfigure with -DCMAKE_BUILD_TYPE=Release, or set" >&2
+  echo "BENCH_ALLOW_UNOPTIMIZED=1 to override (never for baselines)." >&2
+  exit 1
+fi
+
 "$BENCH" \
   --benchmark_filter="$FILTER" \
   --benchmark_min_time="$MIN_TIME" \
+  --benchmark_context=saer_build_type="$BUILD_TYPE" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json
-echo "wrote $OUT"
+echo "wrote $OUT (saer_build_type=$BUILD_TYPE)"

@@ -228,6 +228,12 @@ int cmd_sweep(const CliArgs& args) {
   const std::uint64_t seed = args.get_uint("seed", 42);
   const bool share_graph = args.get_bool("share-graph", false);
   const bool quiet = args.get_bool("quiet", false);
+  // Memory-lean mode for large-n grids: the engine skips the O(n*d)
+  // assignment vector.  Streams, aggregates, and checkpoints are
+  // byte-identical either way (rows carry only aggregate observables), so
+  // the flag is deliberately NOT part of the grid fingerprint -- a resume
+  // may mix modes freely.
+  const bool no_assignment = args.get_bool("no-assignment", false);
 
   std::vector<Protocol> protocols;
   if (protocol == "saer") {
@@ -255,6 +261,7 @@ int cmd_sweep(const CliArgs& args) {
           point.config.params.protocol = proto;
           point.config.params.d = static_cast<std::uint32_t>(d);
           point.config.params.c = c;
+          point.config.params.store_assignment = !no_assignment;
           point.config.replications = reps;
           point.config.master_seed = seed;
           point.config.resample_graph = !share_graph;
@@ -347,7 +354,11 @@ std::string usage() {
          "            [--protocol saer|raes|both] [--reps R] [--seed S]\n"
          "            [--jobs N] [--csv PATH] [--jsonl PATH] [--share-graph]\n"
          "            [--checkpoint PATH] [--checkpoint-interval K]\n"
-         "            [--shard I/K] [--agg-csv PATH] [--quiet]\n"
+         "            [--shard I/K] [--agg-csv PATH] [--no-assignment]\n"
+         "            [--quiet]\n"
+         "            (--no-assignment drops the per-ball assignment vector\n"
+         "             -- identical CSV/JSONL/aggregate bytes in O(servers)\n"
+         "             memory; use it for multi-million-node grids)\n"
          "            (--checkpoint makes the sweep resumable: rerun the\n"
          "             identical command to continue after an interruption)\n"
          "            (--shard I/K runs slice I of K: launch K processes\n"

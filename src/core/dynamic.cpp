@@ -1,9 +1,10 @@
 #include "core/dynamic.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <stdexcept>
 
+#include "core/scatter.hpp"
+#include "util/fastdiv.hpp"
 #include "util/histogram.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -55,8 +56,10 @@ DynamicResult run_dynamic(const BipartiteGraph& graph,
   std::vector<std::uint32_t> latency;
   latency.reserve(total_balls);
 
-  std::vector<std::atomic<std::uint32_t>> round_recv(n_servers);
+  std::vector<std::uint32_t> round_recv(n_servers, 0);
   std::vector<std::uint64_t> recv_total(n_servers, 0);
+  ScatterScratch scatter;
+  const FastDiv32 by_d(d);
   std::vector<std::uint32_t> accepted(n_servers, 0);
   std::vector<std::uint8_t> burned(n_servers, 0);   // protocol state
   std::vector<std::uint8_t> failed(n_servers, 0);   // churn state
@@ -89,19 +92,24 @@ DynamicResult run_dynamic(const BipartiteGraph& graph,
       });
     }
 
+    // Phase 1 via the shared atomic-free radix scatter (same counter-based
+    // draws, plain per-server adds; no touch-lists -- the dynamic loop
+    // always scans all servers because churn coins touch them anyway).
     const std::size_t m = alive.size();
-    parallel_for(0, m, [&](std::size_t i) {
-      const BallId b = alive[i];
-      const auto v = static_cast<NodeId>(b / d);
-      const std::uint32_t deg = graph.client_degree(v);
-      const std::uint64_t k = rng.bounded(b, round, deg);
-      const NodeId u = graph.client_neighbor(v, k);
-      target[i] = u;
-      round_recv[u].fetch_add(1, std::memory_order_relaxed);
-    });
+    scatter_count(
+        scatter_layout(m, n_servers), scatter, m, round_recv.data(), false,
+        [&](std::size_t i) {
+          const BallId b = alive[i];
+          const auto v = static_cast<NodeId>(by_d.quotient(b));
+          const std::uint32_t deg = graph.client_degree(v);
+          const std::uint64_t k = rng.bounded(b, round, deg);
+          return graph.client_neighbors(v).data() + k;
+        },
+        [&](std::size_t i, NodeId u) { target[i] = u; },
+        [](std::size_t, NodeId) {});
 
     parallel_for(0, n_servers, [&](std::size_t ui) {
-      const std::uint32_t rr = round_recv[ui].load(std::memory_order_relaxed);
+      const std::uint32_t rr = round_recv[ui];
       std::uint8_t flag = 0;
       if (rr != 0) {
         recv_total[ui] += rr;
@@ -138,9 +146,7 @@ DynamicResult run_dynamic(const BipartiteGraph& graph,
     res.work_messages += 2 * static_cast<std::uint64_t>(m);
     alive.swap(next_alive);
 
-    parallel_for(0, n_servers, [&](std::size_t ui) {
-      round_recv[ui].store(0, std::memory_order_relaxed);
-    });
+    std::fill(round_recv.begin(), round_recv.end(), 0u);
 
     std::uint64_t max_load = 0;
     for (NodeId u = 0; u < n_servers; ++u)

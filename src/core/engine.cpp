@@ -1,58 +1,146 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <numeric>
+#include <limits>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
+#include "core/scatter.hpp"
 #include "core/workspace.hpp"
+#include "util/fastdiv.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
-
-#if defined(__GNUC__) || defined(__clang__)
-#define SAER_PREFETCH(p) __builtin_prefetch(p)
-#else
-#define SAER_PREFETCH(p) ((void)0)
-#endif
 
 namespace saer {
 
 namespace {
 
-void fetch_max_u64(std::atomic<std::uint64_t>& target, std::uint64_t value) {
-  std::uint64_t cur = target.load(std::memory_order_relaxed);
-  while (cur < value &&
-         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+// ---------------------------------------------------------------------------
+// Per-server cumulative counter policies (Definition 3 state).
+//
+// recv_total is never part of RunResult; it is only observed through
+//   (a) the SAER burn comparison `recv_total > cap` on a not-yet-burned
+//       server, and (b) the exact neighborhood sums of deep_scan.
+// Recv32 exploits (a): a saturating u32 add keeps the comparison exact --
+// before a server burns its total is <= cap < 2^32-1, and once an add
+// wraps or exceeds cap the saturated value is still > cap, so the verdict
+// (and every downstream bit) is identical to exact u64 arithmetic.  After
+// the burn the value is never read again.  Runs that need (b), or a
+// capacity too large for the u32 comparison, select Recv64.  The engine
+// dispatches on this once per run; results are bit-identical either way.
+// ---------------------------------------------------------------------------
+
+struct Recv32 {
+  std::uint32_t* v;
+  void add(NodeId u, std::uint32_t rr) const {
+    const std::uint32_t sum = v[u] + rr;
+    v[u] = sum < v[u] ? std::numeric_limits<std::uint32_t>::max() : sum;
   }
+  [[nodiscard]] std::uint64_t get(NodeId u) const { return v[u]; }
+  void clear(NodeId u) const { v[u] = 0; }
+  void clear_all(NodeId n) const { std::fill(v, v + n, 0u); }
+};
+
+struct Recv64 {
+  std::uint64_t* v;
+  void add(NodeId u, std::uint32_t rr) const { v[u] += rr; }
+  [[nodiscard]] std::uint64_t get(NodeId u) const { return v[u]; }
+  void clear(NodeId u) const { v[u] = 0; }
+  void clear_all(NodeId n) const { std::fill(v, v + n, std::uint64_t{0}); }
+};
+
+/// Selects Recv64: deep_scan needs exact cumulative sums, and a capacity
+/// at the u32 limit would break the saturating comparison.
+bool needs_wide_recv_total(const ProtocolParams& params) {
+  return params.deep_trace ||
+         params.capacity() >=
+             std::numeric_limits<std::uint32_t>::max();
 }
 
+// ---------------------------------------------------------------------------
+// Ball -> client maps.  The uniform-demand map is implicit (ball b belongs
+// to client b / d, computed with an exact reciprocal) so the engine never
+// materializes the O(n*d) vector the seed engine allocated per run; the
+// heterogeneous-demand entry point keeps its explicit map.
+// ---------------------------------------------------------------------------
+
+struct UniformBallClient {
+  FastDiv32 div;
+  explicit UniformBallClient(std::uint32_t d) : div(d) {}
+  [[nodiscard]] NodeId operator()(BallId b) const {
+    return static_cast<NodeId>(div.quotient(b));
+  }
+};
+
+/// Round-1 sampler for the uniform map: ball b == position i, and positions
+/// arrive in ascending order (per chunk), so the client advances every d
+/// balls with no division and one adjacency-span load per client.  Same
+/// draws, same targets -- just the cheapest way to walk an identity round.
+struct UniformRound1Sampler {
+  const BipartiteGraph& graph;
+  const CounterRng& rng;
+  std::uint32_t d;
+  NodeId v = 0;
+  std::uint32_t used = 0;
+  const NodeId* base = nullptr;
+  std::uint32_t deg = 0;
+  bool primed = false;
+
+  const NodeId* operator()(std::size_t i) {
+    if (!primed) {
+      primed = true;
+      v = static_cast<NodeId>(i / d);
+      used = static_cast<std::uint32_t>(i - static_cast<std::uint64_t>(v) * d);
+      load();
+    } else if (used == d) {
+      ++v;
+      used = 0;
+      load();
+    }
+    ++used;
+    return base + rng.bounded(i, 1, deg);
+  }
+
+ private:
+  void load() {
+    const auto nb = graph.client_neighbors(v);
+    base = nb.data();
+    deg = static_cast<std::uint32_t>(nb.size());
+  }
+};
+
+struct ExplicitBallClient {
+  const NodeId* map;
+  [[nodiscard]] NodeId operator()(BallId b) const { return map[b]; }
+};
+
 /// Deep-trace scan: computes the paper's neighborhood maxima
-/// (Definitions 3, 5, 6) from the per-server round counts and cumulative
-/// received counts.  O(E); only runs when deep_trace is requested.
+/// (Definitions 3, 5, 6) from the plain per-server round counts and exact
+/// cumulative received counts.  Three O(E) reductions -- one per metric --
+/// with no shared mutable state: thread-local maxima folded by
+/// parallel_reduce_max / parallel_reduce_max_u64, so the scan is
+/// atomic-free end to end.  Only runs when deep_trace is requested (which
+/// forces the Recv64 policy, so `recv.get` sums are exact).
 struct DeepMetrics {
   double s_max = 0;
   double k_max = 0;
   std::uint64_t r_max_neighborhood = 0;
 };
 
-DeepMetrics deep_scan(const BipartiteGraph& g,
-                      const std::vector<std::atomic<std::uint32_t>>& round_recv,
-                      const std::vector<std::uint64_t>& recv_total,
-                      const std::vector<std::uint8_t>& burned,
+template <class Recv>
+DeepMetrics deep_scan(const BipartiteGraph& g, const std::uint32_t* round_recv,
+                      const Recv& recv, const std::uint8_t* flags,
                       std::uint64_t capacity) {
   DeepMetrics m;
-  std::atomic<std::uint64_t> r_max{0};
   // K_t(v) normalizes the cumulative received count of N(v) by the capacity
-  // mass capacity * |N(v)| (capacity = round(c*d) already folds d in).  The
-  // two fractional maxima reduce through thread-local maxima folded by
-  // parallel_reduce_max; the integral r_max uses a CAS-max.
+  // mass capacity * |N(v)| (capacity = round(c*d) already folds d in).
   const double cap = static_cast<double>(capacity);
   m.s_max = parallel_reduce_max(0, g.num_clients(), [&](std::size_t vi) {
     const auto v = static_cast<NodeId>(vi);
     const auto nb = g.client_neighbors(v);
     std::uint64_t burned_count = 0;
-    for (NodeId u : nb) burned_count += burned[u];
+    for (NodeId u : nb) burned_count += (flags[u] & kServerBurned) ? 1 : 0;
     return nb.empty() ? 0.0
                       : static_cast<double>(burned_count) /
                             static_cast<double>(nb.size());
@@ -60,219 +148,208 @@ DeepMetrics deep_scan(const BipartiteGraph& g,
   m.k_max = parallel_reduce_max(0, g.num_clients(), [&](std::size_t vi) {
     const auto v = static_cast<NodeId>(vi);
     const auto nb = g.client_neighbors(v);
-    std::uint64_t recv = 0, rnd = 0;
-    for (NodeId u : nb) {
-      recv += recv_total[u];
-      rnd += round_recv[u].load(std::memory_order_relaxed);
-    }
-    fetch_max_u64(r_max, rnd);
+    std::uint64_t total = 0;
+    for (NodeId u : nb) total += recv.get(u);
     return nb.empty() ? 0.0
-                      : static_cast<double>(recv) /
+                      : static_cast<double>(total) /
                             (cap * static_cast<double>(nb.size()));
   });
-  m.r_max_neighborhood = r_max.load(std::memory_order_relaxed);
+  m.r_max_neighborhood =
+      parallel_reduce_max_u64(0, g.num_clients(), [&](std::size_t vi) {
+        const auto v = static_cast<NodeId>(vi);
+        std::uint64_t rnd = 0;
+        for (NodeId u : g.client_neighbors(v)) rnd += round_recv[u];
+        return rnd;
+      });
   return m;
 }
 
-}  // namespace
-
-namespace {
-
-/// Chunk count for the ball-side passes: one contiguous index range per
-/// chunk, each with its own output buffer.  Concatenating per-chunk outputs
-/// in chunk order reproduces the serial (ball-index) order for ANY chunk
-/// count, so the partition only affects speed, never results.
-std::size_t round_chunks(std::size_t m) {
-  constexpr std::size_t kMinGrain = 1024;  // don't split tiny rounds
-  const auto threads = static_cast<std::size_t>(configured_threads());
-  if (threads <= 1 || m < 2 * kMinGrain) return 1;
-  return std::min(threads, m / kMinGrain);
-}
-
-/// Shared round loop: `ball_client[b]` maps ball ids to owning clients;
-/// works for both the uniform-d and heterogeneous-demand entry points.
+/// Shared round loop over any ball -> client map and cumulative-counter
+/// policy.
 ///
 /// Output-sensitive: in sparse rounds (alive count below a fraction of
-/// n_servers) Phase 1 records the deduplicated set of servers that received
-/// at least one ball (the first ball to increment a server's round counter
-/// appends it to its chunk's touch list), and every server-side pass of the
-/// round -- acceptance, counter reset, r_max -- visits only that set.  Late
-/// rounds therefore cost O(alive + touched), matching the paper's
-/// geometrically shrinking alive set, instead of O(n_servers).  Dense
-/// rounds keep the sequential full scan, which beats scattered accesses
-/// when most servers are touched anyway.  Which chunk list a server lands
-/// in depends on thread timing, but the union is exact and per-server work
-/// is independent with commutative integer reductions, so results are
-/// bit-identical for either path and any thread count.
+/// n_servers) the radix merge records the deduplicated per-block sets of
+/// servers that received at least one ball, and every server-side pass of
+/// the round -- acceptance, counter reset, r_max -- visits only those
+/// sets.  Late rounds therefore cost O(alive + touched), matching the
+/// paper's geometrically shrinking alive set, instead of O(n_servers).
+/// Dense rounds keep the full block-range scans, which beat scattered
+/// accesses when most servers are touched anyway.  Either way every
+/// per-server verdict is computed identically and all cross-server totals
+/// are exact integer folds, so results are bit-identical for either path,
+/// any layout, and any thread count.
+template <class BallClient, class Recv>
 RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
-                     const std::vector<NodeId>& ball_client,
-                     EngineWorkspace& ws) {
+                     std::uint64_t total_balls, const BallClient& ball_client,
+                     const Recv& recv, EngineWorkspace& ws) {
   const NodeId n_servers = graph.num_servers();
   const std::uint64_t cap = params.capacity();
-  const std::uint64_t total_balls = ball_client.size();
   const std::uint32_t max_rounds =
       params.max_rounds ? params.max_rounds
                         : ProtocolParams::default_max_rounds(graph.num_clients());
 
   RunResult res;
   res.total_balls = total_balls;
-  res.assignment.assign(total_balls, kUnassigned);
+  if (params.store_assignment) res.assignment.assign(total_balls, kUnassigned);
 
   const CounterRng rng(params.seed);
 
-  ws.ensure(n_servers, total_balls);
   std::vector<BallId>& alive = ws.alive;
   std::vector<BallId>& next_alive = ws.next_alive;
   std::vector<NodeId>& target = ws.target;
-  std::vector<std::atomic<std::uint32_t>>& round_recv = ws.round_recv;
-  std::vector<std::uint64_t>& recv_total = ws.recv_total;
-  std::vector<std::uint32_t>& accepted = ws.accepted;
-  std::vector<std::uint8_t>& burned = ws.burned;
-  std::vector<std::uint8_t>& accept_flag = ws.accept_flag;
-  std::vector<NodeId>& touched = ws.touched;
-
-  alive.resize(total_balls);
-  std::iota(alive.begin(), alive.end(), BallId{0});
+  std::uint32_t* const round_recv = ws.round_recv.data();
+  std::uint32_t* const accepted = ws.accepted.data();
+  std::uint8_t* const flags = ws.flags.data();
 
   // A round is "sparse" when the alive set is small enough that visiting
   // only touched servers (scattered accesses + touch-list upkeep) beats the
-  // sequential full scans.  The verdict, reset, and r_max work is the same
+  // block-range scans.  The verdict, reset, and r_max work is the same
   // either way, so the threshold affects speed only, never results.
   const auto sparse_threshold = static_cast<std::size_t>(n_servers / 8);
 
   bool used_dense = false;
   std::uint64_t burned_total = 0;
   std::uint32_t round = 0;
-  while (!alive.empty() && round < max_rounds) {
+  // Round 1's alive list is the identity permutation, so it is never
+  // materialized: `balls == nullptr` makes ball_at(i) = i.  Later rounds
+  // swap in the survivor list.
+  std::size_t alive_count = total_balls;
+  while (alive_count > 0 && round < max_rounds) {
     ++round;
-    const std::size_t m = alive.size();
+    const std::size_t m = alive_count;
+    const BallId* const balls = round == 1 ? nullptr : alive.data();
+    const auto ball_at = [balls](std::size_t i) {
+      return balls ? balls[i] : static_cast<BallId>(i);
+    };
     const bool sparse = m < sparse_threshold;
-    const std::size_t n_chunks = round_chunks(m);
-    const std::size_t chunk_size = (m + n_chunks - 1) / n_chunks;
-    ws.prepare_chunks(n_chunks);
+    const ScatterLayout layout = scatter_layout(m, n_servers);
+    ws.prepare_round(layout);
 
     // Phase 1: every alive ball contacts a uniform random neighbor of its
     // client (independent, with replacement -- Algorithm 1, lines 2-5).
-    // In sparse rounds the ball that takes a server's round counter from 0
-    // to 1 records the server in its chunk's touch list, so the union of
-    // the lists is the exact set of servers with round_recv > 0, each
-    // listed once.
-    parallel_for(0, n_chunks, [&](std::size_t ci) {
-      std::vector<NodeId>& touch = ws.touched_chunks[ci];
-      touch.clear();
-      const std::size_t lo = ci * chunk_size;
-      const std::size_t hi = std::min(m, lo + chunk_size);
-      // Software-pipelined in blocks: the adjacency lookup is a
-      // data-dependent random access into O(E) memory and dominates the
-      // pass, so a first sweep computes and prefetches the target
-      // addresses while a second sweep consumes them.  Identical draws,
-      // identical counters -- only the memory schedule changes.
-      constexpr std::size_t kBlock = 192;
-      const NodeId* addr[kBlock];
-      for (std::size_t blo = lo; blo < hi; blo += kBlock) {
-        const std::size_t len = std::min(kBlock, hi - blo);
-        for (std::size_t j = 0; j < len; ++j) {
-          const BallId b = alive[blo + j];
-          const NodeId v = ball_client[b];
-          const std::uint32_t deg = graph.client_degree(v);
-          const std::uint64_t k = rng.bounded(b, round, deg);
-          addr[j] = graph.client_neighbors(v).data() + k;
-          SAER_PREFETCH(addr[j]);
-        }
-        for (std::size_t j = 0; j < len; ++j) {
-          const NodeId u = *addr[j];
-          target[blo + j] = u;
-          if (round_recv[u].fetch_add(1, std::memory_order_relaxed) == 0 &&
-              sparse) {
-            touch.push_back(u);
-          }
-        }
-      }
-    });
-
-    std::size_t touched_count = 0;
+    // The scatter-count computes the per-server received counts with plain
+    // adds (core/scatter.hpp); in sparse rounds the merge's 0->1
+    // transitions emit the touch-lists and extend the run-lifetime dirty
+    // set (servers whose counters must be re-zeroed before workspace
+    // reuse) as a side effect of the same pass.
     if (sparse) {
-      // Merge the chunk lists and extend the run-lifetime dirty set
-      // (servers whose counters must be re-zeroed before workspace reuse).
-      touched.clear();
-      for (std::size_t ci = 0; ci < n_chunks; ++ci) {
-        const std::vector<NodeId>& touch = ws.touched_chunks[ci];
-        for (const NodeId u : touch) {
-          if (recv_total[u] == 0) ws.dirty.push_back(u);
-        }
-        touched.insert(touched.end(), touch.begin(), touch.end());
+      for (std::size_t bl = 0; bl < layout.n_blocks; ++bl)
+        ws.touched_blocks[bl].clear();
+    }
+    // The adjacency span is cached across consecutive balls of the same
+    // client (uniform demand visits each client's d balls back to back),
+    // so the offset loads are paid once per client, not per ball.  Pure
+    // caching: the draws and targets are unchanged.
+    const auto sample_addr =
+        [&, cached_v = kUnassigned, base = static_cast<const NodeId*>(nullptr),
+         deg = std::uint32_t{0}](std::size_t i) mutable {
+          const BallId b = ball_at(i);
+          const NodeId v = ball_client(b);
+          if (v != cached_v) {
+            cached_v = v;
+            const auto nb = graph.client_neighbors(v);
+            base = nb.data();
+            deg = static_cast<std::uint32_t>(nb.size());
+          }
+          return base + rng.bounded(b, round, deg);
+        };
+    const auto on_target = [&](std::size_t i, NodeId u) { target[i] = u; };
+    const auto on_first_touch = [&](std::size_t bl, NodeId u) {
+      ws.touched_blocks[bl].push_back(u);
+      if (!(flags[u] & kServerDirty)) {
+        flags[u] |= kServerDirty;
+        ws.dirty_blocks[bl].push_back(u);
       }
-      touched_count = touched.size();
+    };
+    if constexpr (std::is_same_v<BallClient, UniformBallClient>) {
+      if (round == 1) {
+        scatter_count(layout, ws.scatter, m, round_recv, sparse,
+                      UniformRound1Sampler{graph, rng, params.d}, on_target,
+                      on_first_touch);
+      } else {
+        scatter_count(layout, ws.scatter, m, round_recv, sparse, sample_addr,
+                      on_target, on_first_touch);
+      }
     } else {
-      used_dense = true;
+      scatter_count(layout, ws.scatter, m, round_recv, sparse, sample_addr,
+                    on_target, on_first_touch);
     }
 
     // Phase 2: servers accept or reject the whole round (Algorithm 1,
-    // lines 6-17).  The acceptance rule for one server is identical in
-    // both paths; sparse rounds just skip servers that received nothing
-    // (no ball will read their verdict).
-    std::atomic<std::uint64_t> newly_burned{0};
-    std::atomic<std::uint64_t> saturated{0};
-    std::atomic<std::uint64_t> accepted_round{0};
-    std::atomic<std::uint64_t> r_max_server{0};
-    const auto serve = [&](NodeId ui, std::uint32_t rr) {
-      std::uint8_t flag = 0;
-      recv_total[ui] += rr;  // counts toward Definition 3 regardless of verdict
-      fetch_max_u64(r_max_server, rr);
+    // lines 6-17).  Each block serves its own servers and folds its round
+    // statistics into a private RoundBlockStats slot; the acceptance rule
+    // for one server is identical in both paths, and sparse rounds just
+    // skip servers that received nothing (no ball will read their
+    // verdict).
+    const auto serve = [&](NodeId ui, std::uint32_t rr, RoundBlockStats& s) {
+      std::uint8_t f = flags[ui] & static_cast<std::uint8_t>(~kServerAccepted);
+      recv.add(ui, rr);  // counts toward Definition 3 regardless of verdict
+      if (rr > s.r_max_server) s.r_max_server = rr;
       if (params.protocol == Protocol::kSaer) {
-        if (burned[ui]) {
-          saturated.fetch_add(1, std::memory_order_relaxed);
-        } else if (recv_total[ui] > cap) {
-          burned[ui] = 1;
-          newly_burned.fetch_add(1, std::memory_order_relaxed);
-          saturated.fetch_add(1, std::memory_order_relaxed);
+        if (f & kServerBurned) {
+          ++s.saturated;
+        } else if (recv.get(ui) > cap) {
+          f |= kServerBurned;
+          ++s.newly_burned;
+          ++s.saturated;
         } else {
           accepted[ui] += rr;
-          accepted_round.fetch_add(rr, std::memory_order_relaxed);
-          flag = 1;
+          s.accepted += rr;
+          f |= kServerAccepted;
         }
       } else {  // RAES: reject only if accepting would exceed capacity
         if (accepted[ui] + rr > cap) {
-          saturated.fetch_add(1, std::memory_order_relaxed);
+          ++s.saturated;
         } else {
           accepted[ui] += rr;
-          accepted_round.fetch_add(rr, std::memory_order_relaxed);
-          flag = 1;
+          s.accepted += rr;
+          f |= kServerAccepted;
         }
       }
-      accept_flag[ui] = flag;
+      flags[ui] = f;
     };
-    if (sparse) {
-      parallel_for(0, touched_count, [&](std::size_t ti) {
-        const NodeId ui = touched[ti];
-        serve(ui, round_recv[ui].load(std::memory_order_relaxed));
-      });
-    } else {
-      parallel_for(0, n_servers, [&](std::size_t ui) {
-        const std::uint32_t rr = round_recv[ui].load(std::memory_order_relaxed);
-        if (rr != 0) {
-          serve(static_cast<NodeId>(ui), rr);
-        } else {
-          accept_flag[ui] = 0;
+    // Unless deep_trace still needs this round's counters for its O(E)
+    // scan, the counter reset rides along with the verdict pass (the
+    // cache lines are hot); round_recv is not otherwise observable, so
+    // fusing changes no result bit.
+    const bool fused_reset = !params.deep_trace;
+    parallel_for(0, layout.n_blocks, [&](std::size_t bl) {
+      RoundBlockStats s;
+      if (sparse) {
+        for (const NodeId ui : ws.touched_blocks[bl]) {
+          serve(ui, round_recv[ui], s);
+          if (fused_reset) round_recv[ui] = 0;
         }
-      });
-    }
+      } else {
+        const std::size_t hi = layout.block_end(bl, n_servers);
+        for (std::size_t ui = layout.block_begin(bl); ui < hi; ++ui) {
+          const std::uint32_t rr = round_recv[ui];
+          if (rr != 0) {
+            serve(static_cast<NodeId>(ui), rr, s);
+            if (fused_reset) round_recv[ui] = 0;
+          }
+        }
+      }
+      ws.block_stats[bl] = s;
+    });
 
     RoundStats stats;
     stats.round = round;
     stats.alive_begin = m;
     stats.submitted = m;
-    stats.accepted = accepted_round.load();
-    stats.newly_burned = newly_burned.load();
-    stats.saturated = saturated.load();
-    stats.r_max_server = r_max_server.load();
+    for (std::size_t bl = 0; bl < layout.n_blocks; ++bl) {
+      const RoundBlockStats& s = ws.block_stats[bl];
+      stats.accepted += s.accepted;
+      stats.newly_burned += s.newly_burned;
+      stats.saturated += s.saturated;
+      stats.r_max_server = std::max(stats.r_max_server, s.r_max_server);
+    }
     res.work_messages += 2 * static_cast<std::uint64_t>(m);
     burned_total += stats.newly_burned;
     stats.burned_total = burned_total;
 
     if (params.deep_trace) {
-      const DeepMetrics dm =
-          deep_scan(graph, round_recv, recv_total, burned, cap);
+      const DeepMetrics dm = deep_scan(graph, round_recv, recv, flags, cap);
       stats.s_max = dm.s_max;
       stats.k_max = dm.k_max;
       stats.r_max_neighborhood = dm.r_max_neighborhood;
@@ -281,46 +358,80 @@ RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
     // Phase 2 epilogue: clients read the Boolean verdicts
     // (Algorithm 1, lines 18-23).  Chunks emit survivors into their own
     // buffer; concatenation in chunk order equals the ball-index order.
-    parallel_for(0, n_chunks, [&](std::size_t ci) {
-      std::vector<BallId>& survivors = ws.alive_chunks[ci];
-      survivors.clear();
-      const std::size_t lo = ci * chunk_size;
-      const std::size_t hi = std::min(m, lo + chunk_size);
-      for (std::size_t i = lo; i < hi; ++i) {
-        const BallId b = alive[i];
-        const NodeId u = target[i];
-        if (accept_flag[u]) {
-          res.assignment[b] = u;
-        } else {
-          survivors.push_back(b);
+    // Single-chunk rounds emit straight into next_alive.
+    const auto emit_with = [&](std::vector<BallId>& survivors, std::size_t lo,
+                               std::size_t hi, auto get_ball) {
+      if (params.store_assignment) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const BallId b = get_ball(i);
+          const NodeId u = target[i];
+          if (flags[u] & kServerAccepted) {
+            res.assignment[b] = u;
+          } else {
+            survivors.push_back(b);
+          }
+        }
+      } else {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (!(flags[target[i]] & kServerAccepted))
+            survivors.push_back(get_ball(i));
         }
       }
-    });
+    };
+    const auto emit_survivors = [&](std::vector<BallId>& survivors,
+                                    std::size_t lo, std::size_t hi) {
+      if (balls) {
+        emit_with(survivors, lo, hi,
+                  [balls](std::size_t i) { return balls[i]; });
+      } else {
+        emit_with(survivors, lo, hi,
+                  [](std::size_t i) { return static_cast<BallId>(i); });
+      }
+    };
     next_alive.clear();
-    for (std::size_t ci = 0; ci < n_chunks; ++ci) {
-      const std::vector<BallId>& survivors = ws.alive_chunks[ci];
-      next_alive.insert(next_alive.end(), survivors.begin(), survivors.end());
+    if (layout.n_chunks == 1) {
+      emit_survivors(next_alive, 0, m);
+    } else {
+      parallel_for(0, layout.n_chunks, [&](std::size_t ci) {
+        std::vector<BallId>& survivors = ws.alive_chunks[ci];
+        survivors.clear();
+        const std::size_t lo = ci * layout.chunk_size;
+        emit_survivors(survivors, lo, std::min(m, lo + layout.chunk_size));
+      });
+      for (std::size_t ci = 0; ci < layout.n_chunks; ++ci) {
+        const std::vector<BallId>& survivors = ws.alive_chunks[ci];
+        next_alive.insert(next_alive.end(), survivors.begin(),
+                          survivors.end());
+      }
     }
     alive.swap(next_alive);
+    alive_count = alive.size();
 
-    // Reset the round counters: only touched servers are non-zero.
+    // Reset the round counters (only touched servers are non-zero) unless
+    // the verdict pass already did.
     if (sparse) {
-      parallel_for(0, touched_count, [&](std::size_t ti) {
-        round_recv[touched[ti]].store(0, std::memory_order_relaxed);
-      });
+      if (!fused_reset) {
+        parallel_for(0, layout.n_blocks, [&](std::size_t bl) {
+          for (const NodeId ui : ws.touched_blocks[bl]) round_recv[ui] = 0;
+        });
+      }
     } else {
-      parallel_for(0, n_servers, [&](std::size_t ui) {
-        round_recv[ui].store(0, std::memory_order_relaxed);
-      });
+      used_dense = true;
+      if (!fused_reset) {
+        parallel_for(0, layout.n_blocks, [&](std::size_t bl) {
+          std::fill(round_recv + layout.block_begin(bl),
+                    round_recv + layout.block_end(bl, n_servers), 0u);
+        });
+      }
     }
 
     if (params.record_trace) res.trace.push_back(stats);
   }
 
-  res.completed = alive.empty();
+  res.completed = alive_count == 0;
   res.rounds = round;
-  res.alive_balls = alive.size();
-  res.loads.assign(accepted.begin(), accepted.begin() + n_servers);
+  res.alive_balls = alive_count;
+  res.loads.assign(ws.accepted.begin(), ws.accepted.begin() + n_servers);
   for (std::uint32_t load : res.loads)
     res.max_load = std::max<std::uint64_t>(res.max_load, load);
   res.burned_servers = burned_total;
@@ -328,28 +439,53 @@ RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
   // Restore the workspace's pristine invariant: round_recv is already zero
   // (reset every round), so only the cumulative state remains.  Dense
   // rounds don't track dirty servers, so any dense round forces the
-  // sequential full clear; all-sparse runs pay only O(dirty).
+  // full-range clears; all-sparse runs pay only O(dirty).
   if (used_dense) {
-    std::fill(recv_total.begin(), recv_total.begin() + n_servers, 0);
-    std::fill(accepted.begin(), accepted.begin() + n_servers, 0);
-    std::fill(burned.begin(), burned.begin() + n_servers, 0);
+    recv.clear_all(n_servers);
+    std::fill(ws.accepted.begin(), ws.accepted.begin() + n_servers, 0u);
+    std::fill(ws.flags.begin(), ws.flags.begin() + n_servers,
+              std::uint8_t{0});
+    for (std::vector<NodeId>& block : ws.dirty_blocks) block.clear();
   } else {
-    for (const NodeId u : ws.dirty) {
-      recv_total[u] = 0;
-      accepted[u] = 0;
-      burned[u] = 0;
+    for (std::vector<NodeId>& block : ws.dirty_blocks) {
+      for (const NodeId u : block) {
+        recv.clear(u);
+        accepted[u] = 0;
+        flags[u] = 0;
+      }
+      block.clear();
     }
   }
   return res;
 }
 
-/// Shared audit over an explicit ball -> client map.
+/// Dispatches the run on the cumulative-counter width (see Recv32/Recv64).
+template <class BallClient>
+RunResult run_dispatch(const BipartiteGraph& graph,
+                       const ProtocolParams& params, std::uint64_t total_balls,
+                       const BallClient& ball_client, EngineWorkspace& ws) {
+  const bool wide = needs_wide_recv_total(params);
+  ws.ensure(graph.num_servers(), total_balls, wide);
+  if (wide) {
+    return run_rounds(graph, params, total_balls, ball_client,
+                      Recv64{ws.recv_total64.data()}, ws);
+  }
+  return run_rounds(graph, params, total_balls, ball_client,
+                    Recv32{ws.recv_total32.data()}, ws);
+}
+
+/// Shared audit over any ball -> client map.
+template <class BallClient>
 void check_result_balls(const BipartiteGraph& graph,
                         const ProtocolParams& params,
-                        const std::vector<NodeId>& ball_client,
+                        std::uint64_t total_balls,
+                        const BallClient& ball_client,
                         const RunResult& result) {
+  if (!params.store_assignment)
+    throw std::invalid_argument(
+        "check_result: run executed with store_assignment=false has no "
+        "assignment to audit");
   const std::uint64_t cap = params.capacity();
-  const std::uint64_t total_balls = ball_client.size();
   if (result.total_balls != total_balls)
     throw std::logic_error("check_result: total_balls mismatch");
   if (result.assignment.size() != total_balls)
@@ -365,7 +501,7 @@ void check_result_balls(const BipartiteGraph& graph,
       ++unassigned;
       continue;
     }
-    const NodeId v = ball_client[b];
+    const NodeId v = ball_client(b);
     if (!graph.has_edge(v, u))
       throw std::logic_error("check_result: ball assigned outside N(v)");
     ++recomputed[u];
@@ -401,16 +537,6 @@ void check_result_balls(const BipartiteGraph& graph,
   }
 }
 
-/// Ball -> client map for uniform demand d per client.
-std::vector<NodeId> uniform_ball_clients(NodeId n_clients, std::uint32_t d) {
-  std::vector<NodeId> ball_client(static_cast<std::size_t>(n_clients) * d);
-  for (NodeId v = 0; v < n_clients; ++v) {
-    for (std::uint32_t i = 0; i < d; ++i)
-      ball_client[static_cast<std::size_t>(v) * d + i] = v;
-  }
-  return ball_client;
-}
-
 /// Ball -> client map for heterogeneous demands; validates demands <= d.
 std::vector<NodeId> demand_ball_clients(const BipartiteGraph& graph,
                                         const ProtocolParams& params,
@@ -436,15 +562,26 @@ void require_reachable(const BipartiteGraph& graph,
   }
 }
 
+/// Uniform-demand reachability: every client owns balls, so every client
+/// needs a non-empty neighborhood (O(n), no ball map materialized).
+void require_all_reachable(const BipartiteGraph& graph) {
+  for (NodeId v = 0; v < graph.num_clients(); ++v) {
+    if (graph.client_degree(v) == 0)
+      throw std::invalid_argument("run_protocol: client " + std::to_string(v) +
+                                  " has no admissible server");
+  }
+}
+
 }  // namespace
 
 RunResult run_protocol(const BipartiteGraph& graph, const ProtocolParams& params,
                        EngineWorkspace& workspace) {
   params.validate();
-  const std::vector<NodeId> ball_client =
-      uniform_ball_clients(graph.num_clients(), params.d);
-  require_reachable(graph, ball_client);
-  return run_rounds(graph, params, ball_client, workspace);
+  require_all_reachable(graph);
+  const std::uint64_t total_balls =
+      static_cast<std::uint64_t>(graph.num_clients()) * params.d;
+  return run_dispatch(graph, params, total_balls,
+                      UniformBallClient(params.d), workspace);
 }
 
 RunResult run_protocol(const BipartiteGraph& graph, const ProtocolParams& params) {
@@ -460,7 +597,8 @@ RunResult run_protocol_demands(const BipartiteGraph& graph,
   const std::vector<NodeId> ball_client =
       demand_ball_clients(graph, params, demands);
   require_reachable(graph, ball_client);
-  return run_rounds(graph, params, ball_client, workspace);
+  return run_dispatch(graph, params, ball_client.size(),
+                      ExplicitBallClient{ball_client.data()}, workspace);
 }
 
 RunResult run_protocol_demands(const BipartiteGraph& graph,
@@ -472,8 +610,9 @@ RunResult run_protocol_demands(const BipartiteGraph& graph,
 
 void check_result(const BipartiteGraph& graph, const ProtocolParams& params,
                   const RunResult& result) {
-  check_result_balls(graph, params,
-                     uniform_ball_clients(graph.num_clients(), params.d),
+  const std::uint64_t total_balls =
+      static_cast<std::uint64_t>(graph.num_clients()) * params.d;
+  check_result_balls(graph, params, total_balls, UniformBallClient(params.d),
                      result);
 }
 
@@ -481,8 +620,10 @@ void check_result_demands(const BipartiteGraph& graph,
                           const ProtocolParams& params,
                           const std::vector<std::uint32_t>& demands,
                           const RunResult& result) {
-  check_result_balls(graph, params, demand_ball_clients(graph, params, demands),
-                     result);
+  const std::vector<NodeId> ball_client =
+      demand_ball_clients(graph, params, demands);
+  check_result_balls(graph, params, ball_client.size(),
+                     ExplicitBallClient{ball_client.data()}, result);
 }
 
 }  // namespace saer

@@ -6,11 +6,16 @@
 // as three data-parallel passes per round:
 //
 //   pass 1 (balls):   every alive ball samples a uniform neighbor of its
-//                     client and increments that server's round counter;
+//                     client; the per-server received counts are computed
+//                     by the atomic-free radix partition of
+//                     core/scatter.hpp -- ball chunks bucket their targets
+//                     by server block, and a per-block merge bumps plain
+//                     integer counters in chunk order;
 //   pass 2 (servers): every server that received a ball this round (the
-//                     "touched" set, recorded during pass 1) applies the
-//                     SAER or RAES acceptance rule and publishes its
-//                     verdict -- untouched servers are never visited;
+//                     "touched" set, which falls out of the merge's 0->1
+//                     transitions) applies the SAER or RAES acceptance
+//                     rule and publishes its verdict -- untouched servers
+//                     are never visited;
 //   pass 3 (balls):   every alive ball reads its target's verdict; accepted
 //                     balls record their server, rejected ones stay alive.
 //
@@ -19,18 +24,41 @@
 // schedule.  This both makes runs reproducible and is faithful to the model:
 // clients draw independently either way.
 //
-// Workspace reuse + determinism contract
-// --------------------------------------
+// Determinism contract
+// --------------------
+// RunResult is a pure function of (graph, params): bit-identical for every
+// thread count, chunk/block layout, sparse or dense round path, and
+// counter representation.  The pieces that guarantee it:
+//
+//  * the radix scatter computes each server's count as a sum of the same
+//    per-ball contributions, merged per server block in chunk order --
+//    plain adds, no schedule-dependent interleaving (core/scatter.hpp);
+//  * per-round statistics fold per-block partials in block order: integer
+//    adds and maxes, exact under any grouping;
+//  * the sparse touched-server bookkeeping only changes which servers are
+//    *visited*, never what is computed for them;
+//  * the cumulative received counter is stored as a saturating u32 unless
+//    a run needs exact sums (deep_trace) or a capacity beyond u32 -- the
+//    saturation point lies strictly above every value the SAER burn
+//    comparison can observe, so the width is unobservable;
+//  * the uniform ball->client map is implicit (b / d via an exact
+//    reciprocal, util/fastdiv.hpp) -- no O(n*d) side array, same values.
+//
+// ProtocolParams::store_assignment = false additionally drops the O(n*d)
+// RunResult::assignment vector (left empty); loads, trace, and every
+// scalar observable are unchanged, which is what lets aggregate-only
+// sweeps run n >= 2^22 points in bounded memory.
+//
+// Workspace reuse
+// ---------------
 // Every overload that takes an EngineWorkspace (core/workspace.hpp) runs in
 // the caller's scratch buffers and performs no O(n)-sized allocation of its
 // own; the overloads without one allocate a fresh workspace per call.  The
 // two paths -- and any sequence of runs through one reused workspace, in
-// any size or protocol order -- produce bit-identical RunResults for every
-// thread count: the sparse touched-server bookkeeping only changes which
-// servers are *visited*, never what is computed for them, and all parallel
-// reductions are exact (integer adds and maxes; per-ball and per-server
-// state is disjoint).  Golden-hash tests (tests/test_golden_hash.cpp) pin
-// this contract.
+// any size or protocol order -- produce bit-identical RunResults.
+// Golden-hash tests (tests/test_golden_hash.cpp) pin this contract against
+// hashes recorded before the radix rewrite, across thread counts and both
+// protocols.
 
 #include "core/protocol.hpp"
 #include "core/workspace.hpp"
@@ -76,6 +104,8 @@ void check_result_demands(const BipartiteGraph& graph,
 /// neighbor of its client, loads match the assignment, no load exceeds
 /// capacity, work accounting matches the trace.  Throws std::logic_error
 /// with a description on the first violation.  Used by tests and examples.
+/// Requires params.store_assignment (throws std::invalid_argument
+/// otherwise: there is no assignment to audit).
 void check_result(const BipartiteGraph& graph, const ProtocolParams& params,
                   const RunResult& result);
 

@@ -48,6 +48,13 @@ struct ProtocolParams {
   bool deep_trace = false;
   /// Record per-round RoundStats (cheap metrics) in the result.
   bool record_trace = true;
+  /// Materialize RunResult::assignment (O(n*d) memory).  Sweeps that only
+  /// consume aggregate observables turn this off so multi-million-ball
+  /// points run in bounded memory: every other RunResult field (loads,
+  /// trace, scalars) is bit-identical either way, and `assignment` is left
+  /// empty.  Orthogonal to the run's outcome, so it is excluded from sweep
+  /// grid fingerprints.
+  bool store_assignment = true;
 
   /// Server capacity in balls: round(c*d), at least 1.
   [[nodiscard]] std::uint64_t capacity() const;
@@ -67,7 +74,8 @@ struct RunResult {
   std::uint64_t work_messages = 0;
   std::uint64_t max_load = 0;        ///< max accepted balls on any server
   std::uint64_t burned_servers = 0;  ///< SAER only; 0 for RAES
-  /// assignment[b] = accepting server for ball b, or kUnassigned.
+  /// assignment[b] = accepting server for ball b, or kUnassigned.  Empty
+  /// when the run was executed with store_assignment = false.
   std::vector<NodeId> assignment;
   /// accepted balls per server (the "load" vector).
   std::vector<std::uint32_t> loads;

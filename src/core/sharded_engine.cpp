@@ -42,7 +42,8 @@ RunResult run_protocol_sharded(const BipartiteGraph& graph,
 
   RunResult res;
   res.total_balls = total_balls;
-  res.assignment.assign(total_balls, kUnassigned);
+  if (params.base.store_assignment)
+    res.assignment.assign(total_balls, kUnassigned);
 
   // Per-client-shard alive lists; ball b belongs to client b / d.
   auto client_shard = [&](NodeId v) {
@@ -157,7 +158,8 @@ RunResult run_protocol_sharded(const BipartiteGraph& graph,
       for (std::uint32_t to = 0; to < shards; ++to) {
         for (const Request& req : outbox[from][to]) {
           if (accept_flag[req.server]) {
-            res.assignment[req.ball] = req.server;
+            if (params.base.store_assignment)
+              res.assignment[req.ball] = req.server;
           } else {
             next.push_back(req.ball);
           }

@@ -7,9 +7,11 @@
 //
 // Because all protocol randomness is counter-based on (seed, ball, round),
 // the sharded execution is REQUIRED to produce bit-identical results to
-// run_protocol() -- the test suite asserts exactly that.  This file is the
-// "how you would actually distribute it" companion of engine.cpp, and a
-// second independent implementation of Algorithm 1 for cross-validation.
+// run_protocol() -- the test suite asserts exactly that (including
+// ProtocolParams::store_assignment, which both engines honor the same
+// way).  This file is the "how you would actually distribute it"
+// companion of engine.cpp, and a second independent implementation of
+// Algorithm 1 for cross-validation.
 
 #include "core/protocol.hpp"
 #include "graph/bipartite_graph.hpp"

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/workspace.hpp"
+#include "util/fastdiv.hpp"
 #include "util/rng.hpp"
 
 namespace saer {
@@ -48,15 +50,17 @@ WeightedResult run_protocol_weighted(const BipartiteGraph& graph,
   std::vector<NodeId> target(total_balls);
   std::vector<std::uint64_t> recv_round(graph.num_servers(), 0);
   std::vector<std::uint64_t> recv_total(graph.num_servers(), 0);
-  std::vector<std::uint8_t> burned(graph.num_servers(), 0);
-  std::vector<std::uint8_t> accept_flag(graph.num_servers(), 0);
+  // Engine-idiom flags byte: kServerAccepted is the round verdict,
+  // kServerBurned the SAER burn bit (one array instead of two).
+  std::vector<std::uint8_t> flags(graph.num_servers(), 0);
+  const FastDiv32 by_d(d);
 
   std::uint32_t round = 0;
   while (!alive.empty() && round < max_rounds) {
     ++round;
     for (std::size_t i = 0; i < alive.size(); ++i) {
       const BallId b = alive[i];
-      const auto v = static_cast<NodeId>(b / d);
+      const auto v = static_cast<NodeId>(by_d.quotient(b));
       const NodeId u =
           graph.client_neighbor(v, rng.bounded(b, round, graph.client_degree(v)));
       target[i] = u;
@@ -64,32 +68,32 @@ WeightedResult run_protocol_weighted(const BipartiteGraph& graph,
     }
     for (NodeId u = 0; u < graph.num_servers(); ++u) {
       const std::uint64_t rr = recv_round[u];
-      std::uint8_t flag = 0;
+      std::uint8_t f = flags[u] & static_cast<std::uint8_t>(~kServerAccepted);
       if (rr != 0) {
         recv_total[u] += rr;
         if (params.protocol == Protocol::kSaer) {
-          if (!burned[u]) {
+          if (!(f & kServerBurned)) {
             if (recv_total[u] > params.capacity) {
-              burned[u] = 1;
+              f |= kServerBurned;
             } else {
               res.weight_loads[u] += rr;
-              flag = 1;
+              f |= kServerAccepted;
             }
           }
         } else {
           if (res.weight_loads[u] + rr <= params.capacity) {
             res.weight_loads[u] += rr;
-            flag = 1;
+            f |= kServerAccepted;
           }
         }
       }
-      accept_flag[u] = flag;
+      flags[u] = f;
       recv_round[u] = 0;
     }
     next_alive.clear();
     for (std::size_t i = 0; i < alive.size(); ++i) {
       const BallId b = alive[i];
-      if (accept_flag[target[i]]) {
+      if (flags[target[i]] & kServerAccepted) {
         res.assignment[b] = target[i];
       } else {
         next_alive.push_back(b);
@@ -104,8 +108,8 @@ WeightedResult run_protocol_weighted(const BipartiteGraph& graph,
   res.alive_balls = alive.size();
   for (const std::uint64_t load : res.weight_loads)
     res.max_weight_load = std::max(res.max_weight_load, load);
-  res.burned_servers = static_cast<std::uint64_t>(
-      std::count(burned.begin(), burned.end(), std::uint8_t{1}));
+  for (const std::uint8_t f : flags)
+    res.burned_servers += (f & kServerBurned) ? 1 : 0;
   return res;
 }
 

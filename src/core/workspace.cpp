@@ -2,28 +2,33 @@
 
 namespace saer {
 
-void EngineWorkspace::ensure(NodeId n_servers, std::uint64_t total_balls) {
+void EngineWorkspace::ensure(NodeId n_servers, std::uint64_t total_balls,
+                             bool wide_recv_total) {
   if (round_recv.size() < n_servers) {
-    // vector<atomic> cannot grow in place (atomics are immovable); every
-    // counter is zero between runs, so reconstructing value-initialized
-    // atomics preserves the pristine invariant.
-    round_recv = std::vector<std::atomic<std::uint32_t>>(n_servers);
-    recv_total.resize(n_servers, 0);
+    round_recv.resize(n_servers, 0);
     accepted.resize(n_servers, 0);
-    burned.resize(n_servers, 0);
-    accept_flag.resize(n_servers, 0);
+    flags.resize(n_servers, 0);
+  }
+  if (wide_recv_total) {
+    if (recv_total64.size() < n_servers) recv_total64.resize(n_servers, 0);
+  } else {
+    if (recv_total32.size() < n_servers) recv_total32.resize(n_servers, 0);
   }
   if (target.size() < total_balls) target.resize(total_balls);
   alive.clear();
   next_alive.clear();
   next_alive.reserve(total_balls);
-  touched.clear();
-  dirty.clear();
 }
 
-void EngineWorkspace::prepare_chunks(std::size_t chunks) {
-  if (touched_chunks.size() < chunks) touched_chunks.resize(chunks);
-  if (alive_chunks.size() < chunks) alive_chunks.resize(chunks);
+void EngineWorkspace::prepare_round(const ScatterLayout& layout) {
+  scatter.prepare(layout);
+  if (touched_blocks.size() < layout.n_blocks)
+    touched_blocks.resize(layout.n_blocks);
+  if (dirty_blocks.size() < layout.n_blocks)
+    dirty_blocks.resize(layout.n_blocks);
+  if (block_stats.size() < layout.n_blocks) block_stats.resize(layout.n_blocks);
+  if (alive_chunks.size() < layout.n_chunks)
+    alive_chunks.resize(layout.n_chunks);
 }
 
 std::unique_ptr<EngineWorkspace> WorkspacePool::acquire() {

@@ -119,6 +119,9 @@ std::uint64_t grid_fingerprint(const std::vector<SweepPoint>& grid) {
     h = mix64(h, config.resample_graph ? 1 : 0);
     h = mix64(h, point.topology_key);
     // params.seed is excluded: the scheduler overrides it per replication.
+    // params.store_assignment is excluded too: it changes only whether the
+    // engine materializes the assignment vector, never a streamed byte, so
+    // a resume may legitimately mix modes.
     const ProtocolParams& params = config.params;
     h = mix64(h, static_cast<std::uint64_t>(params.protocol));
     h = mix64(h, params.d);

@@ -1,0 +1,67 @@
+#pragma once
+// Exact division by a runtime 32-bit constant.
+//
+// The round engines map ball ids to clients as v = b / d with a divisor
+// that is fixed for the whole run but unknown at compile time.  A hardware
+// 64-bit divide costs 20-40 cycles and sits on the hot path of every ball
+// in every round, so FastDiv32 precomputes a 64-bit reciprocal once and
+// replaces the divide with one 128-bit multiply.
+//
+// Exactness (not "fast but approximate"): for a non-power-of-two divisor
+// d >= 2 let M = floor(2^64 / d) + 1, so M*d = 2^64 + e with 0 < e <= d.
+// For any dividend b < 2^32,
+//
+//   (M*b) >> 64 = floor(b/d + b*e / (d * 2^64)),
+//
+// and the error term is < 2^32 * d / (d * 2^64) = 2^-32 < 1/d, too small
+// to carry the floor past the next integer (the fractional part of b/d is
+// at most (d-1)/d).  Dividends >= 2^32 take the hardware divide; powers of
+// two (including d = 1, whose reciprocal would not fit 64 bits) reduce to
+// a shift.  quotient() therefore equals b / d for EVERY b and d -- the
+// engines' bit-identical determinism contract never depends on which path
+// was taken.
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace saer {
+
+class FastDiv32 {
+ public:
+  FastDiv32() = default;
+
+  explicit FastDiv32(std::uint32_t divisor) : divisor_(divisor) {
+    if (divisor == 0)
+      throw std::invalid_argument("FastDiv32: divisor must be >= 1");
+    if ((divisor & (divisor - 1)) == 0) {
+      // Power of two (d = 1 gives shift 0).
+      shift_ = 0;
+      for (std::uint32_t v = divisor; v > 1; v >>= 1) ++shift_;
+    } else {
+      shift_ = kMultiplyPath;
+      magic_ = ~std::uint64_t{0} / divisor + 1;  // floor(2^64/d) + 1
+    }
+  }
+
+  [[nodiscard]] std::uint32_t divisor() const { return divisor_; }
+
+  /// Exactly b / divisor for every 64-bit b.
+  [[nodiscard]] std::uint64_t quotient(std::uint64_t b) const {
+    if (shift_ != kMultiplyPath) return b >> shift_;
+    if (b >> 32) return b / divisor_;  // reciprocal is exact below 2^32
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+    using u128 = unsigned __int128;
+#pragma GCC diagnostic pop
+    return static_cast<std::uint64_t>(
+        (static_cast<u128>(magic_) * static_cast<u128>(b)) >> 64);
+  }
+
+ private:
+  static constexpr std::uint32_t kMultiplyPath = 0xffffffffu;
+  std::uint32_t divisor_ = 1;
+  std::uint32_t shift_ = 0;
+  std::uint64_t magic_ = 0;
+};
+
+}  // namespace saer

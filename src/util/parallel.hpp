@@ -52,6 +52,30 @@ std::uint64_t parallel_reduce_sum(std::size_t begin, std::size_t end, Body&& bod
   return total;
 }
 
+/// Max-reduction over [begin, end) of body(i) as uint64 (exact -- no
+/// float conversion, no atomics; used by the deep-trace scan's integral
+/// neighborhood maxima).
+template <class Body>
+std::uint64_t parallel_reduce_max_u64(std::size_t begin, std::size_t end,
+                                      Body&& body) {
+  std::uint64_t best = 0;
+#if defined(SAER_HAVE_OPENMP)
+  const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
+  const int threads = configured_threads();
+#pragma omp parallel for schedule(static) reduction(max : best) num_threads(threads)
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::uint64_t v = body(begin + static_cast<std::size_t>(i));
+    if (v > best) best = v;
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint64_t v = body(i);
+    if (v > best) best = v;
+  }
+#endif
+  return best;
+}
+
 /// Max-reduction over [begin, end) of body(i) as double.
 template <class Body>
 double parallel_reduce_max(std::size_t begin, std::size_t end, Body&& body) {

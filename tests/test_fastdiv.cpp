@@ -1,0 +1,73 @@
+// FastDiv32: the reciprocal quotient must equal hardware division for
+// every (dividend, divisor) -- the engine's implicit ball->client map
+// rides on it, so an off-by-one here would silently change every run.
+
+#include <gtest/gtest.h>
+
+#include "util/fastdiv.hpp"
+#include "util/rng.hpp"
+
+namespace saer {
+namespace {
+
+void expect_exact(std::uint32_t d, std::uint64_t b) {
+  const FastDiv32 div(d);
+  ASSERT_EQ(div.quotient(b), b / d) << "b=" << b << " d=" << d;
+}
+
+TEST(FastDiv, RejectsZeroDivisor) {
+  EXPECT_THROW(FastDiv32(0), std::invalid_argument);
+}
+
+TEST(FastDiv, PowersOfTwoAndOne) {
+  for (const std::uint32_t d : {1u, 2u, 4u, 1024u, 1u << 31}) {
+    for (const std::uint64_t b :
+         {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{d} - 1,
+          std::uint64_t{d}, std::uint64_t{d} + 1, (std::uint64_t{1} << 32) - 1,
+          std::uint64_t{1} << 32, ~std::uint64_t{0}}) {
+      expect_exact(d, b);
+    }
+  }
+}
+
+TEST(FastDiv, BoundaryDividendsAroundMultiples) {
+  // Reciprocal rounding errors, if any, surface at exact multiples of the
+  // divisor: check b = k*d - 1, k*d, k*d + 1 for awkward divisors.
+  for (const std::uint32_t d : {3u, 5u, 7u, 12u, 196u, 4095u, 0xfffffffbu}) {
+    const FastDiv32 div(d);
+    for (const std::uint64_t k :
+         {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{1000},
+          (std::uint64_t{1} << 32) / d, (std::uint64_t{1} << 31) / d}) {
+      const std::uint64_t base = k * d;
+      for (const std::uint64_t b : {base - 1, base, base + 1}) {
+        ASSERT_EQ(div.quotient(b), b / d) << "b=" << b << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(FastDiv, RandomizedAgainstHardwareDivide) {
+  Xoshiro256ss rng(0xfa57d1fULL);
+  for (int i = 0; i < 200000; ++i) {
+    const auto d = static_cast<std::uint32_t>(rng.bounded(0xffffffffULL) + 1);
+    // Mix dividends below and above the 2^32 reciprocal guard.
+    const std::uint64_t b =
+        (i % 4 == 0) ? rng() : rng.bounded(std::uint64_t{1} << 32);
+    const FastDiv32 div(d);
+    ASSERT_EQ(div.quotient(b), b / d) << "b=" << b << " d=" << d;
+  }
+}
+
+TEST(FastDiv, SmallDivisorsExhaustiveDividendSweep) {
+  // Every small divisor against a dense dividend sweep through the first
+  // few wrap points of the quotient.
+  for (std::uint32_t d = 1; d <= 64; ++d) {
+    const FastDiv32 div(d);
+    for (std::uint64_t b = 0; b < 4096; ++b) {
+      ASSERT_EQ(div.quotient(b), b / d) << "b=" << b << " d=" << d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saer

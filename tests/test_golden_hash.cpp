@@ -123,5 +123,83 @@ TEST(GoldenHash, IndependentOfThreadCount) {
   set_thread_count(0);
 }
 
+// The literals of the four tests below were produced by the pre-radix seed
+// engine (atomic scatter, u64 recv_total, explicit ball->client vector), so
+// they pin the radix/counting rewrite -- chunked bucket merge, saturating
+// u32 cumulative counters, flags byte, implicit b/d map -- to be bit-for-
+// bit identical to it.
+
+TEST(GoldenHash, LargeNRadixPath) {
+  // 2^17 clients x d=2 = 2^18 balls: large enough that multi-chunk layouts
+  // split into many server blocks and several rounds straddle the
+  // sparse/dense threshold.
+  const BipartiteGraph g = random_regular(1u << 17, 16, 2025);
+  ProtocolParams p;
+  p.d = 2;
+  p.c = 2.0;
+  p.seed = 555;
+  EXPECT_EQ(hash_result(run_protocol(g, p)), 0x992a28eebc3eb1a2ULL);
+}
+
+TEST(GoldenHash, RadixMatchesPreChangeAcrossJobs) {
+  // Pre-change goldens must hold for every worker count and both
+  // protocols: jobs \in {1, 4, 8} covers the serial direct path, the
+  // radix bucket merge, and an oversubscribed layout.
+  const BipartiteGraph g = random_regular(1u << 16, 12, 4242);
+  ProtocolParams saer;
+  saer.d = 2;
+  saer.c = 2.0;
+  saer.seed = 91;
+  ProtocolParams raes;
+  raes.protocol = Protocol::kRaes;
+  raes.d = 2;
+  raes.c = 1.5;
+  raes.seed = 92;
+  for (const int jobs : {1, 4, 8}) {
+    set_thread_count(jobs);
+    EXPECT_EQ(hash_result(run_protocol(g, saer)), 0x138341862b695458ULL)
+        << "SAER jobs=" << jobs;
+    EXPECT_EQ(hash_result(run_protocol(g, raes)), 0x22472bd84aa32b5bULL)
+        << "RAES jobs=" << jobs;
+  }
+  set_thread_count(0);
+}
+
+TEST(GoldenHash, SparseDenseThresholdBoundary) {
+  // Demands put the first round's alive count at n/8 + 4, a hair above the
+  // sparse threshold (n_servers / 8), so the run enters on the dense path
+  // and crosses to sparse immediately -- the boundary the output-sensitive
+  // bookkeeping must not observe.
+  const BipartiteGraph g = random_regular(1u << 14, 12, 7);
+  ProtocolParams p;
+  p.d = 1;
+  p.c = 2.0;
+  p.seed = 1234;
+  std::vector<std::uint32_t> demands(g.num_clients(), 0);
+  for (NodeId v = 0; v < (1u << 14) / 8 + 4; ++v) demands[v] = 1;
+  EXPECT_EQ(hash_result(run_protocol_demands(g, p, demands)),
+            0xdb5641dc62b94bb8ULL);
+}
+
+TEST(GoldenHash, NoAssignmentModeSameObservables) {
+  // store_assignment = false must change exactly one thing: assignment is
+  // left empty.  Hash both runs with the assignment section excluded and
+  // require equality; the stored run must additionally match its golden.
+  const BipartiteGraph g = random_regular(1u << 16, 12, 4242);
+  ProtocolParams p;
+  p.d = 2;
+  p.c = 2.0;
+  p.seed = 91;
+  const RunResult stored = run_protocol(g, p);
+  EXPECT_EQ(hash_result(stored), 0x138341862b695458ULL);
+  p.store_assignment = false;
+  const RunResult lean = run_protocol(g, p);
+  EXPECT_TRUE(lean.assignment.empty());
+  RunResult stripped = stored;
+  stripped.assignment.clear();
+  EXPECT_EQ(hash_result(lean), hash_result(stripped));
+  EXPECT_EQ(lean.loads, stored.loads);
+}
+
 }  // namespace
 }  // namespace saer

@@ -109,7 +109,7 @@ TEST(WorkspacePool, RecyclesReleasedWorkspaces) {
   {
     const WorkspaceLease lease(pool);
     first = &*lease;
-    (*lease).ensure(128, 256);
+    (*lease).ensure(128, 256, false);
   }
   {
     const WorkspaceLease lease(pool);
