@@ -27,6 +27,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "cli/sweep_flags.hpp"
 #include "graph/generators.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
@@ -67,17 +68,15 @@ inline GraphFactory make_factory(const std::string& topology, NodeId n) {
                               " (regular|ring|trust|almost)");
 }
 
-/// Scheduler options from the shared sweep flags.
+/// Scheduler options from the shared sweep flags (cli/sweep_flags.hpp);
+/// the figure binaries spell the stream flags --runs-csv/--runs-jsonl
+/// because --csv already names the figure series output.
 inline SweepOptions sweep_options(const CliArgs& args) {
-  SweepOptions options;
-  options.jobs = static_cast<unsigned>(args.get_uint("jobs", 0));
-  options.csv_path = args.get("runs-csv", "");
-  options.jsonl_path = args.get("runs-jsonl", args.get("jsonl", ""));
-  options.checkpoint_path = args.get("checkpoint", "");
-  options.checkpoint_interval = static_cast<unsigned>(
-      args.get_uint("checkpoint-interval", options.checkpoint_interval));
-  apply_shard_flag(options, args.get("shard", ""));
-  return options;
+  cli::SweepFlagNames names;
+  names.csv = "runs-csv";
+  names.jsonl = "runs-jsonl";
+  names.jsonl_alias = "jsonl";
+  return cli::parse_sweep_flags(args, names);
 }
 
 /// Standard epilogue for grid-API figure binaries: wall-clock summary plus
@@ -108,11 +107,6 @@ inline SweepPoint make_point(const std::string& topology, NodeId n,
 }
 
 /// Rejects typo'd flags with a readable message; call after all getters.
-inline void reject_unknown_flags(const CliArgs& args) {
-  const auto unknown = args.unknown_flags();
-  if (!unknown.empty()) {
-    throw std::invalid_argument("unknown flag --" + unknown.front());
-  }
-}
+inline void reject_unknown_flags(const CliArgs& args) { args.reject_unknown(); }
 
 }  // namespace saer::benchfig

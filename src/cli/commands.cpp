@@ -1,10 +1,16 @@
 #include "cli/commands.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <stdexcept>
+#include <thread>
 
+#include "cli/sweep_flags.hpp"
+#include "core/dynamic.hpp"
 #include "core/engine.hpp"
 #include "core/metrics.hpp"
 #include "core/subgraph.hpp"
@@ -12,8 +18,11 @@
 #include "graph/generators.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/spectral.hpp"
+#include "net/load_injector.hpp"
 #include "sim/aggregate.hpp"
+#include "sim/run_record.hpp"
 #include "sim/sweep.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -127,6 +136,7 @@ int cmd_generate(const CliArgs& args) {
     return 2;
   }
   const BipartiteGraph g = build_graph(args);
+  args.reject_unknown();
   save_graph(out, g);
   std::printf("wrote %s\n%s\n", out.c_str(), describe(g).c_str());
   return 0;
@@ -134,6 +144,7 @@ int cmd_generate(const CliArgs& args) {
 
 int cmd_stats(const CliArgs& args) {
   const BipartiteGraph g = resolve_graph(args);
+  args.reject_unknown();
   const DegreeStats s = degree_stats(g);
   std::printf("%s\n", describe(g).c_str());
   const double log2n = std::log2(static_cast<double>(g.num_clients()));
@@ -163,6 +174,7 @@ int cmd_run(const CliArgs& args) {
   params.seed = args.get_uint("seed", 1);
   const bool trace = args.get_bool("trace", false);
   params.deep_trace = trace;
+  args.reject_unknown();
 
   const RunResult res = run_protocol(g, params);
   check_result(g, params, res);
@@ -196,6 +208,7 @@ int cmd_expander(const CliArgs& args) {
   params.d = static_cast<std::uint32_t>(args.get_uint("d", 3));
   params.c = args.get_double("c", 4.0);
   params.seed = args.get_uint("seed", 1);
+  args.reject_unknown();
   const RunResult res = run_protocol(g, params);
   if (!res.completed) {
     std::fprintf(stderr, "expander: protocol did not complete; raise --c\n");
@@ -273,15 +286,9 @@ int cmd_sweep(const CliArgs& args) {
     }
   }
 
-  SweepOptions options;
-  options.jobs = static_cast<unsigned>(args.get_uint("jobs", 0));
-  options.csv_path = args.get("csv", "");
-  options.jsonl_path = args.get("jsonl", "");
-  options.checkpoint_path = args.get("checkpoint", "");
-  options.checkpoint_interval = static_cast<unsigned>(
-      args.get_uint("checkpoint-interval", options.checkpoint_interval));
-  apply_shard_flag(options, args.get("shard", ""));
+  const SweepOptions options = parse_sweep_flags(args);
   const std::string agg_csv = args.get("agg-csv", "");
+  args.reject_unknown();
   if (!agg_csv.empty() && options.shard_count > 1) {
     // A shard's aggregate CSV would carry the canonical full-grid schema
     // with only 1/k of the replications folded in -- a silent footgun for
@@ -328,6 +335,7 @@ int cmd_aggregate(const CliArgs& args) {
   read_options.tolerate_truncated_tail = args.get_bool("tolerant", false);
   const std::string csv_path = args.get("csv", "");
   const bool quiet = args.get_bool("quiet", false);
+  args.reject_unknown();
 
   const AggregateSummary summary = aggregate_jsonl_files(inputs, read_options);
   if (!csv_path.empty()) {
@@ -343,8 +351,246 @@ int cmd_aggregate(const CliArgs& args) {
   return 0;
 }
 
+namespace {
+
+/// Set by SIGINT/SIGTERM: the serve loop stops injecting, drains, writes
+/// the final report, and exits 0 (graceful shutdown contract).
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void serve_stop_handler(int) { g_serve_stop = 1; }
+
+/// Percentile of a histogram that may still be empty (no settled balls in
+/// the first report intervals of a heavily loaded start).
+std::uint64_t pctl(const IntHistogram& h, double p) {
+  return h.empty() ? 0 : static_cast<std::uint64_t>(h.percentile(p));
+}
+
+ServeMetricsRow serve_row(const DynamicEngine& engine, NodeId num_servers,
+                          std::uint64_t elapsed_us) {
+  const ServiceMetrics snap = engine.snapshot();
+  ServeMetricsRow row;
+  row.round = snap.round;
+  row.elapsed_us = elapsed_us;
+  row.arrivals_per_s = elapsed_us == 0
+                           ? 0.0
+                           : static_cast<double>(snap.injected_clients) /
+                                 (static_cast<double>(elapsed_us) * 1e-6);
+  row.injected_clients = snap.injected_clients;
+  row.assigned_balls = snap.assigned_balls;
+  row.backlog = snap.backlog;
+  row.p50_rounds = pctl(snap.latency_rounds, 50.0);
+  row.p99_rounds = pctl(snap.latency_rounds, 99.0);
+  row.p999_rounds = pctl(snap.latency_rounds, 99.9);
+  row.p50_us = pctl(snap.latency_us, 50.0);
+  row.p99_us = pctl(snap.latency_us, 99.0);
+  row.p999_us = pctl(snap.latency_us, 99.9);
+  row.max_load = snap.max_load;
+  row.mean_load = num_servers == 0 ? 0.0
+                                   : static_cast<double>(snap.assigned_balls) /
+                                         static_cast<double>(num_servers);
+  row.burned_servers = snap.burned_servers;
+  row.failed_servers = snap.failed_servers;
+  return row;
+}
+
+}  // namespace
+
+int cmd_serve(const CliArgs& args) {
+  ProtocolParams base;
+  const std::string protocol = args.get("protocol", "saer");
+  if (protocol == "saer") {
+    base.protocol = Protocol::kSaer;
+  } else if (protocol == "raes") {
+    base.protocol = Protocol::kRaes;
+  } else {
+    std::fprintf(stderr, "serve: --protocol must be saer or raes\n");
+    return 2;
+  }
+  base.d = static_cast<std::uint32_t>(args.get_uint("d", 2));
+  base.c = args.get_double("c", 4.0);
+  base.seed = args.get_uint("seed", 1);
+
+  net::LoadInjectorParams inj;
+  inj.curve = net::parse_arrival_curve(args.get("curve", "constant"));
+  inj.rate = args.get_double("rate", 1000.0);
+  inj.round_us = args.get_double("round-us", 1000.0);
+  inj.seed = base.seed;
+  inj.burst_factor = args.get_double("burst-factor", inj.burst_factor);
+  inj.burst_on_s = args.get_double("burst-on-s", inj.burst_on_s);
+  inj.burst_off_s = args.get_double("burst-off-s", inj.burst_off_s);
+  const net::LoadInjector injector(inj);
+
+  // Exactly one clock: --duration-s paces rounds against the wall clock;
+  // --duration-rounds runs on the virtual clock (elapsed = round *
+  // round-us) as fast as the machine allows, which makes the metrics JSONL
+  // byte-identical across runs.
+  const std::uint64_t duration_rounds = args.get_uint("duration-rounds", 0);
+  const double duration_s = args.get_double("duration-s", 0.0);
+  if ((duration_rounds == 0) == (duration_s <= 0.0)) {
+    std::fprintf(stderr,
+                 "serve: pass exactly one of --duration-s or "
+                 "--duration-rounds\n");
+    return 2;
+  }
+  const bool virtual_time = duration_rounds != 0;
+  const std::uint64_t inject_rounds =
+      virtual_time ? duration_rounds
+                   : static_cast<std::uint64_t>(
+                         std::ceil(duration_s * 1e6 / inj.round_us));
+
+  DynamicParams dparams;
+  dparams.base = base;
+  dparams.server_failure_rate = args.get_double("failure-rate", 0.0);
+  dparams.latency_bucket_us = args.get_int("latency-bucket-us", 1);
+
+  const double report_interval_s = args.get_double("report-interval-s", 1.0);
+  const std::uint64_t report_every = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::llround(report_interval_s * 1e6 / inj.round_us)));
+  const bool quiet = args.get_bool("quiet", false);
+
+  SweepFlagNames names;
+  names.csv.clear();
+  names.jsonl = "metrics-jsonl";
+  const SweepOptions options = parse_sweep_flags(args, names);
+  if (!options.checkpoint_path.empty() || options.shard_count > 1) {
+    std::fprintf(stderr,
+                 "serve: --checkpoint and --shard are sweep-only flags\n");
+    return 2;
+  }
+
+  // Topology: --graph wins; otherwise auto-size --n to cover the expected
+  // arrival volume (plus margin) so the service never runs out of client
+  // ids mid-run.
+  const std::string graph_path = args.get("graph", "");
+  const double horizon_s =
+      static_cast<double>(inject_rounds) * inj.round_us * 1e-6;
+  const BipartiteGraph g = [&]() -> BipartiteGraph {
+    if (!graph_path.empty()) return load_graph(graph_path);
+    const std::string topology = args.get("topology", "regular");
+    const auto n = static_cast<NodeId>(
+        args.get_uint("n", std::max<std::uint64_t>(
+                               injector.expected_total(horizon_s), 64)));
+    return make_topology_factory(topology, n, args)(base.seed);
+  }();
+  const std::uint64_t drain_cap = args.get_uint(
+      "drain-rounds", ProtocolParams::default_max_rounds(g.num_clients()));
+  args.reject_unknown();
+
+  if (options.jobs != 0) set_thread_count(static_cast<int>(options.jobs));
+
+  std::FILE* metrics = nullptr;
+  if (!options.jsonl_path.empty()) {
+    metrics = std::fopen(options.jsonl_path.c_str(), "wb");
+    if (!metrics) {
+      std::fprintf(stderr, "serve: cannot open %s\n",
+                   options.jsonl_path.c_str());
+      return 2;
+    }
+  }
+
+  DynamicEngine engine(g, dparams);
+  g_serve_stop = 0;
+  std::signal(SIGINT, serve_stop_handler);
+  std::signal(SIGTERM, serve_stop_handler);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_us_real = [&]() -> std::uint64_t {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
+  const auto clock_us = [&](std::uint64_t round) -> std::uint64_t {
+    return virtual_time ? static_cast<std::uint64_t>(std::llround(
+                              static_cast<double>(round) * inj.round_us))
+                        : elapsed_us_real();
+  };
+
+  std::uint64_t last_report_round = 0;
+  const auto report = [&](std::uint64_t now_us) {
+    const ServeMetricsRow row = serve_row(engine, g.num_servers(), now_us);
+    last_report_round = row.round;
+    const std::string line = serve_metrics_row_json(row);
+    if (!quiet) std::printf("%s\n", line.c_str());
+    if (metrics) {
+      std::fprintf(metrics, "%s\n", line.c_str());
+      std::fflush(metrics);
+    }
+  };
+
+  if (!quiet) {
+    std::printf(
+        "serve: %s on %s, curve %s at %.0f clients/s, round %.0f us, "
+        "%llu inject rounds (%s clock)\n",
+        to_string(base.protocol).c_str(), describe(g).c_str(),
+        net::arrival_curve_name(inj.curve), inj.rate, inj.round_us,
+        static_cast<unsigned long long>(inject_rounds),
+        virtual_time ? "virtual" : "wall");
+  }
+
+  std::uint64_t r = 0;
+  bool interrupted = false;
+  while (r < inject_rounds) {
+    if (g_serve_stop) {
+      interrupted = true;
+      break;
+    }
+    ++r;
+    if (!virtual_time) {
+      // Open-loop pacing: wait for round r's scheduled start, never for
+      // the backlog.  Stamps below use scheduled time, so settle latency
+      // includes any injector lag (coordinated omission).
+      std::this_thread::sleep_until(
+          start + std::chrono::microseconds(injector.stamp_us_for_round(
+                      static_cast<std::uint32_t>(r))));
+    }
+    const std::uint64_t count =
+        injector.arrivals_for_round(static_cast<std::uint32_t>(r));
+    if (count != 0) {
+      engine.inject(static_cast<NodeId>(count),
+                    injector.stamp_us_for_round(static_cast<std::uint32_t>(r)));
+    }
+    engine.step(clock_us(r));
+    if (r % report_every == 0) report(clock_us(r));
+  }
+
+  // Graceful drain: injection has stopped (duration reached or signal);
+  // keep stepping until every activated ball settles or the cap is hit.
+  std::uint64_t drain_rounds = 0;
+  while (!engine.drained() && drain_rounds < drain_cap) {
+    ++r;
+    ++drain_rounds;
+    engine.step(clock_us(r));
+    if (r % report_every == 0) report(clock_us(r));
+  }
+  if (engine.round() != last_report_round) report(clock_us(r));
+
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  if (metrics) std::fclose(metrics);
+
+  const ServiceMetrics snap = engine.snapshot();
+  if (!quiet) {
+    std::printf(
+        "serve: %s after %u rounds: %llu clients in, %llu balls assigned, "
+        "backlog %llu, max load %llu, burned %llu, failed %llu\n",
+        interrupted ? "interrupted, drained"
+                    : (engine.drained() ? "drained" : "DRAIN CAP HIT"),
+        snap.round, static_cast<unsigned long long>(snap.injected_clients),
+        static_cast<unsigned long long>(snap.assigned_balls),
+        static_cast<unsigned long long>(snap.backlog),
+        static_cast<unsigned long long>(snap.max_load),
+        static_cast<unsigned long long>(snap.burned_servers),
+        static_cast<unsigned long long>(snap.failed_servers));
+  }
+  // A signal-initiated shutdown that drained cleanly is a success.
+  return engine.drained() ? 0 : 1;
+}
+
 std::string usage() {
-  return "usage: saer <generate|stats|run|expander|sweep|aggregate> [flags]\n"
+  return "usage: saer <generate|stats|run|expander|sweep|aggregate|serve> "
+         "[flags]\n"
          "  generate  --topology T --n N --out PATH [--delta D] [--seed S]\n"
          "  stats     --graph PATH | --topology T --n N\n"
          "  run       [--graph PATH | --topology T --n N] [--protocol saer|raes]\n"
@@ -369,6 +615,21 @@ std::string usage() {
          "             and --agg-csv is refused per shard)\n"
          "  aggregate RUNS.jsonl [MORE.jsonl ...] | --inputs A.jsonl,B.jsonl\n"
          "            [--csv PATH] [--tolerant] [--quiet]\n"
+         "  serve     --rate R (--duration-s T | --duration-rounds N)\n"
+         "            [--curve constant|poisson|bursty] [--round-us U]\n"
+         "            [--burst-factor F --burst-on-s A --burst-off-s B]\n"
+         "            [--graph PATH | --topology T [--n N]]\n"
+         "            [--protocol saer|raes] [--d D] [--c C] [--seed S]\n"
+         "            [--failure-rate P] [--report-interval-s I]\n"
+         "            [--metrics-jsonl PATH] [--latency-bucket-us W]\n"
+         "            [--drain-rounds K] [--jobs N] [--quiet]\n"
+         "            (long-lived service: injects R clients/s, reports a\n"
+         "             metrics JSONL row every I seconds -- p50/p99/p999\n"
+         "             settle latency in rounds and microseconds, loads,\n"
+         "             backlog -- and drains gracefully on SIGINT/SIGTERM;\n"
+         "             --duration-rounds runs on a virtual clock, making\n"
+         "             the metrics stream byte-identical across runs;\n"
+         "             --n defaults to the expected arrival volume)\n"
          "topologies: regular ring grid trust almost complete\n";
 }
 
@@ -386,6 +647,7 @@ int dispatch(int argc, const char* const* argv) {
     if (command == "expander") return cmd_expander(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "aggregate") return cmd_aggregate(args);
+    if (command == "serve") return cmd_serve(args);
     std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
                  usage().c_str());
     return 2;

@@ -15,6 +15,9 @@
 //                 [--share-graph] [--quiet]
 //   saer aggregate runs1.jsonl [runs2.jsonl ...] | --inputs a.jsonl,b.jsonl
 //                 [--csv agg.csv] [--tolerant] [--quiet]
+//   saer serve    --rate 1000 (--duration-s 10 | --duration-rounds 5000)
+//                 [--curve constant|poisson|bursty] [--failure-rate p]
+//                 [--report-interval-s 1] [--metrics-jsonl m.jsonl] ...
 //
 // `--topology` accepts: regular | ring | grid | trust | almost | complete.
 //
@@ -45,6 +48,10 @@ int cmd_run(const CliArgs& args);
 int cmd_expander(const CliArgs& args);
 int cmd_sweep(const CliArgs& args);
 int cmd_aggregate(const CliArgs& args);
+/// Long-lived service mode: a DynamicEngine fed by a LoadInjector arrival
+/// stream, with periodic ServeMetricsRow reports (stdout and
+/// --metrics-jsonl) and SIGINT/SIGTERM graceful drain.  See usage().
+int cmd_serve(const CliArgs& args);
 
 /// Dispatches on argv[1]; returns process exit code.
 int dispatch(int argc, const char* const* argv);

@@ -1,0 +1,25 @@
+#include "cli/sweep_flags.hpp"
+
+namespace saer::cli {
+
+SweepOptions parse_sweep_flags(const CliArgs& args,
+                               const SweepFlagNames& names) {
+  SweepOptions options;
+  options.jobs = static_cast<unsigned>(args.get_uint("jobs", 0));
+  if (!names.csv.empty()) options.csv_path = args.get(names.csv, "");
+  if (!names.jsonl.empty()) {
+    // Query the alias unconditionally so reject_unknown() treats both
+    // spellings as consumed even when the primary one is present.
+    options.jsonl_path =
+        names.jsonl_alias.empty()
+            ? args.get(names.jsonl, "")
+            : args.get(names.jsonl, args.get(names.jsonl_alias, ""));
+  }
+  options.checkpoint_path = args.get("checkpoint", "");
+  options.checkpoint_interval = static_cast<unsigned>(
+      args.get_uint("checkpoint-interval", options.checkpoint_interval));
+  apply_shard_flag(options, args.get("shard", ""));
+  return options;
+}
+
+}  // namespace saer::cli

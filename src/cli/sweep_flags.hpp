@@ -1,0 +1,32 @@
+#pragma once
+// The sweep-scheduler flag block (--jobs/--csv/--jsonl/--checkpoint/
+// --checkpoint-interval/--shard) is shared verbatim by `saer sweep`,
+// `saer serve`, and all twenty figure binaries.  One parser keeps the
+// semantics (and the checkpoint/shard interactions documented in
+// sim/sweep.hpp) from drifting between entry points; SweepFlagNames only
+// renames the stream flags where an entry point's historical spelling
+// differs (the figure binaries say --runs-csv/--runs-jsonl because --csv
+// already means "figure series" there).
+
+#include <string>
+
+#include "sim/sweep.hpp"
+#include "util/cli.hpp"
+
+namespace saer::cli {
+
+/// Flag spellings for the two stream paths; empty disables that flag.
+struct SweepFlagNames {
+  std::string csv = "csv";
+  std::string jsonl = "jsonl";
+  std::string jsonl_alias;  ///< optional shorthand, lower precedence
+};
+
+/// Parses the shared scheduler block into SweepOptions.  Always consumes
+/// --jobs, --checkpoint, --checkpoint-interval, and --shard; the stream
+/// flags use `names`.  Throws std::invalid_argument on a malformed
+/// --shard i/k value.
+[[nodiscard]] SweepOptions parse_sweep_flags(const CliArgs& args,
+                                             const SweepFlagNames& names = {});
+
+}  // namespace saer::cli

@@ -3,11 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/scatter.hpp"
-#include "util/fastdiv.hpp"
-#include "util/histogram.hpp"
 #include "util/parallel.hpp"
-#include "util/rng.hpp"
 
 namespace saer {
 
@@ -17,17 +13,242 @@ namespace {
 constexpr std::uint64_t kFailureStreamBase = 0x8000'0000'0000'0000ULL;
 }  // namespace
 
-DynamicResult run_dynamic(const BipartiteGraph& graph,
-                          const DynamicParams& params) {
-  params.base.validate();
-  if (params.server_failure_rate < 0.0 || params.server_failure_rate >= 1.0)
+DynamicEngine::DynamicEngine(const BipartiteGraph& graph,
+                             const DynamicParams& params)
+    : graph_(graph),
+      params_(params),
+      rng_(params.base.seed),
+      by_d_(params.base.d),
+      latency_us_(params.latency_bucket_us) {
+  params_.base.validate();
+  if (params_.server_failure_rate < 0.0 || params_.server_failure_rate >= 1.0)
     throw std::invalid_argument("run_dynamic: failure rate outside [0,1)");
 
-  const NodeId n_clients = graph.num_clients();
-  const NodeId n_servers = graph.num_servers();
-  const std::uint32_t d = params.base.d;
-  const std::uint64_t cap = params.base.capacity();
+  const NodeId n_clients = graph_.num_clients();
+  const NodeId n_servers = graph_.num_servers();
+  const std::uint32_t d = params_.base.d;
+  cap_ = params_.base.capacity();
+
+  for (NodeId v = 0; v < n_clients; ++v) {
+    if (graph_.client_degree(v) == 0)
+      throw std::invalid_argument("run_dynamic: client has no admissible server");
+  }
+
   const std::uint64_t total_balls = static_cast<std::uint64_t>(n_clients) * d;
+  alive_.reserve(total_balls);
+  next_alive_.reserve(total_balls);
+  target_.resize(total_balls);
+  activation_round_.resize(total_balls);
+  stamp_us_.resize(n_clients, 0);
+
+  round_recv_.assign(n_servers, 0);
+  recv_total_.assign(n_servers, 0);
+  accepted_.assign(n_servers, 0);
+  burned_.assign(n_servers, 0);
+  failed_.assign(n_servers, 0);
+  accept_flag_.assign(n_servers, 0);
+}
+
+NodeId DynamicEngine::num_clients() const noexcept {
+  return graph_.num_clients();
+}
+
+bool DynamicEngine::drained() const noexcept {
+  return alive_.empty() && pending_total_ == 0;
+}
+
+bool DynamicEngine::exhausted() const noexcept {
+  return drained() && next_client_ == graph_.num_clients();
+}
+
+NodeId DynamicEngine::inject(NodeId count, std::uint64_t stamp_us) {
+  const NodeId remaining =
+      graph_.num_clients() - next_client_ - pending_total_;
+  count = std::min(count, remaining);
+  if (count == 0) return 0;
+  pending_.push_back({count, stamp_us});
+  pending_total_ += count;
+  return count;
+}
+
+void DynamicEngine::activate_pending() {
+  const std::uint32_t d = params_.base.d;
+  activated_this_step_ = 0;
+  while (!pending_.empty()) {
+    const PendingBatch batch = pending_.front();
+    pending_.pop_front();
+    const NodeId cohort_end = next_client_ + batch.count;
+    for (; next_client_ < cohort_end; ++next_client_) {
+      stamp_us_[next_client_] = batch.stamp_us;
+      for (std::uint32_t i = 0; i < d; ++i) {
+        const BallId b = static_cast<BallId>(next_client_) * d + i;
+        alive_.push_back(b);
+        activation_round_[b] = round_;
+      }
+    }
+    activated_this_step_ += static_cast<std::uint64_t>(batch.count) * d;
+  }
+  pending_total_ = 0;
+}
+
+DynamicStepStats DynamicEngine::step(std::uint64_t now_us) {
+  const NodeId n_servers = graph_.num_servers();
+  ++round_;
+  activate_pending();
+
+  // Server churn: healthy servers fail independently.
+  if (params_.server_failure_rate > 0.0) {
+    parallel_for(0, n_servers, [&](std::size_t ui) {
+      if (failed_[ui]) return;
+      const double coin = rng_.uniform01(kFailureStreamBase + ui, round_);
+      if (coin < params_.server_failure_rate) failed_[ui] = 1;
+    });
+  }
+
+  // Phase 1 via the shared atomic-free radix scatter (same counter-based
+  // draws, plain per-server adds; no touch-lists -- the dynamic loop
+  // always scans all servers because churn coins touch them anyway).
+  const std::size_t m = alive_.size();
+  scatter_count(
+      scatter_layout(m, n_servers), scatter_, m, round_recv_.data(), false,
+      [&](std::size_t i) {
+        const BallId b = alive_[i];
+        const auto v = static_cast<NodeId>(by_d_.quotient(b));
+        const std::uint32_t deg = graph_.client_degree(v);
+        const std::uint64_t k = rng_.bounded(b, round_, deg);
+        return graph_.client_neighbors(v).data() + k;
+      },
+      [&](std::size_t i, NodeId u) { target_[i] = u; },
+      [](std::size_t, NodeId) {});
+
+  parallel_for(0, n_servers, [&](std::size_t ui) {
+    const std::uint32_t rr = round_recv_[ui];
+    std::uint8_t flag = 0;
+    if (rr != 0) {
+      recv_total_[ui] += rr;
+      if (failed_[ui]) {
+        // Failed servers answer nothing; clients treat it as a reject.
+      } else if (params_.base.protocol == Protocol::kSaer) {
+        if (!burned_[ui]) {
+          if (recv_total_[ui] > cap_) {
+            burned_[ui] = 1;
+          } else {
+            accepted_[ui] += rr;
+            flag = 1;
+          }
+        }
+      } else {
+        if (accepted_[ui] + rr <= cap_) {
+          accepted_[ui] += rr;
+          flag = 1;
+        }
+      }
+    }
+    accept_flag_[ui] = flag;
+  });
+
+  next_alive_.clear();
+  for (std::size_t i = 0; i < m; ++i) {
+    const BallId b = alive_[i];
+    if (accept_flag_[target_[i]]) {
+      const std::uint32_t lat = round_ - activation_round_[b] + 1;
+      latency_rounds_.add(lat);
+      latency_sum_ += lat;
+      latency_max_ = std::max(latency_max_, lat);
+      const auto v = static_cast<NodeId>(by_d_.quotient(b));
+      latency_us_.add(static_cast<std::int64_t>(now_us - stamp_us_[v]));
+      ++settled_balls_;
+    } else {
+      next_alive_.push_back(b);
+    }
+  }
+  work_messages_ += 2 * static_cast<std::uint64_t>(m);
+  alive_.swap(next_alive_);
+
+  std::fill(round_recv_.begin(), round_recv_.end(), 0u);
+
+  std::uint64_t max_load = 0;
+  for (NodeId u = 0; u < n_servers; ++u)
+    max_load = std::max<std::uint64_t>(max_load, accepted_[u]);
+  max_load_series_.push_back(max_load);
+  backlog_series_.push_back(alive_.size());
+
+  DynamicStepStats stats;
+  stats.round = round_;
+  stats.activated_balls = activated_this_step_;
+  stats.settled_balls = m - alive_.size();
+  stats.backlog = alive_.size();
+  stats.max_load = max_load;
+  return stats;
+}
+
+ServiceMetrics DynamicEngine::snapshot() const {
+  const NodeId n_servers = graph_.num_servers();
+  ServiceMetrics out;
+  out.round = round_;
+  out.injected_clients = next_client_;
+  out.injected_balls =
+      static_cast<std::uint64_t>(next_client_) * params_.base.d;
+  out.assigned_balls = settled_balls_;
+  out.backlog = alive_.size();
+  out.work_messages = work_messages_;
+  out.latency_rounds = latency_rounds_;
+  out.latency_us = latency_us_;
+  for (NodeId u = 0; u < n_servers; ++u) {
+    out.max_load = std::max<std::uint64_t>(out.max_load, accepted_[u]);
+    out.burned_servers += burned_[u];
+    out.failed_servers += failed_[u];
+    out.server_load.add(accepted_[u]);
+  }
+  out.alive_servers =
+      n_servers - out.burned_servers - out.failed_servers +
+      [&] {  // burned AND failed servers must not be subtracted twice
+        std::uint64_t both = 0;
+        for (NodeId u = 0; u < n_servers; ++u)
+          both += (burned_[u] && failed_[u]) ? 1 : 0;
+        return both;
+      }();
+  out.mean_load = n_servers == 0
+                      ? 0.0
+                      : static_cast<double>(settled_balls_) /
+                            static_cast<double>(n_servers);
+  return out;
+}
+
+DynamicResult DynamicEngine::result(std::uint32_t reported_rounds) const {
+  const NodeId n_servers = graph_.num_servers();
+  DynamicResult res;
+  res.total_balls =
+      static_cast<std::uint64_t>(graph_.num_clients()) * params_.base.d;
+  res.rounds = reported_rounds;
+  res.unassigned_balls = alive_.size();
+  res.completed = alive_.empty() && pending_total_ == 0 &&
+                  next_client_ == graph_.num_clients();
+  res.work_messages = work_messages_;
+  for (NodeId u = 0; u < n_servers; ++u) {
+    res.max_load = std::max<std::uint64_t>(res.max_load, accepted_[u]);
+    res.burned_servers += burned_[u];
+    res.failed_servers += failed_[u];
+  }
+  if (!latency_rounds_.empty()) {
+    res.latency_mean =
+        latency_sum_ / static_cast<double>(latency_rounds_.total());
+    res.latency_p50 =
+        static_cast<std::uint32_t>(latency_rounds_.quantile(0.50));
+    res.latency_p99 =
+        static_cast<std::uint32_t>(latency_rounds_.quantile(0.99));
+    res.latency_max = latency_max_;
+  }
+  res.max_load_series = max_load_series_;
+  res.backlog_series = backlog_series_;
+  return res;
+}
+
+DynamicResult run_dynamic(const BipartiteGraph& graph,
+                          const DynamicParams& params) {
+  DynamicEngine engine(graph, params);
+
+  const NodeId n_clients = graph.num_clients();
   const std::uint32_t arrivals =
       params.arrivals_per_round == 0 ? n_clients : params.arrivals_per_round;
   const std::uint32_t last_arrival_round =
@@ -37,149 +258,19 @@ DynamicResult run_dynamic(const BipartiteGraph& graph,
                                   : ProtocolParams::default_max_rounds(n_clients);
   const std::uint32_t max_rounds = last_arrival_round + drain;
 
-  for (NodeId v = 0; v < n_clients; ++v) {
-    if (graph.client_degree(v) == 0)
-      throw std::invalid_argument("run_dynamic: client has no admissible server");
-  }
-
-  const CounterRng rng(params.base.seed);
-
-  DynamicResult res;
-  res.total_balls = total_balls;
-
-  std::vector<BallId> alive;
-  alive.reserve(total_balls);
-  std::vector<BallId> next_alive;
-  next_alive.reserve(total_balls);
-  std::vector<NodeId> target(total_balls);
-  std::vector<std::uint32_t> activation_round(total_balls);
-  std::vector<std::uint32_t> latency;
-  latency.reserve(total_balls);
-
-  std::vector<std::uint32_t> round_recv(n_servers, 0);
-  std::vector<std::uint64_t> recv_total(n_servers, 0);
-  ScatterScratch scatter;
-  const FastDiv32 by_d(d);
-  std::vector<std::uint32_t> accepted(n_servers, 0);
-  std::vector<std::uint8_t> burned(n_servers, 0);   // protocol state
-  std::vector<std::uint8_t> failed(n_servers, 0);   // churn state
-  std::vector<std::uint8_t> accept_flag(n_servers, 0);
-
-  NodeId next_client = 0;
-  std::uint32_t round = 0;
-  while (round < max_rounds) {
-    ++round;
-
-    // Arrivals: activate the next cohort of clients.
-    const NodeId cohort_end =
-        static_cast<NodeId>(std::min<std::uint64_t>(
-            static_cast<std::uint64_t>(next_client) + arrivals, n_clients));
-    for (; next_client < cohort_end; ++next_client) {
-      for (std::uint32_t i = 0; i < d; ++i) {
-        const BallId b = static_cast<BallId>(next_client) * d + i;
-        alive.push_back(b);
-        activation_round[b] = round;
-      }
+  std::uint32_t rounds = 0;
+  while (rounds < max_rounds) {
+    engine.inject(arrivals);
+    if (engine.exhausted()) {
+      // The monolithic loop counted the round in which it noticed there
+      // was nothing left to do (only reachable with zero clients).
+      ++rounds;
+      break;
     }
-    if (alive.empty() && next_client == n_clients) break;
-
-    // Server churn: healthy servers fail independently.
-    if (params.server_failure_rate > 0.0) {
-      parallel_for(0, n_servers, [&](std::size_t ui) {
-        if (failed[ui]) return;
-        const double coin = rng.uniform01(kFailureStreamBase + ui, round);
-        if (coin < params.server_failure_rate) failed[ui] = 1;
-      });
-    }
-
-    // Phase 1 via the shared atomic-free radix scatter (same counter-based
-    // draws, plain per-server adds; no touch-lists -- the dynamic loop
-    // always scans all servers because churn coins touch them anyway).
-    const std::size_t m = alive.size();
-    scatter_count(
-        scatter_layout(m, n_servers), scatter, m, round_recv.data(), false,
-        [&](std::size_t i) {
-          const BallId b = alive[i];
-          const auto v = static_cast<NodeId>(by_d.quotient(b));
-          const std::uint32_t deg = graph.client_degree(v);
-          const std::uint64_t k = rng.bounded(b, round, deg);
-          return graph.client_neighbors(v).data() + k;
-        },
-        [&](std::size_t i, NodeId u) { target[i] = u; },
-        [](std::size_t, NodeId) {});
-
-    parallel_for(0, n_servers, [&](std::size_t ui) {
-      const std::uint32_t rr = round_recv[ui];
-      std::uint8_t flag = 0;
-      if (rr != 0) {
-        recv_total[ui] += rr;
-        if (failed[ui]) {
-          // Failed servers answer nothing; clients treat it as a reject.
-        } else if (params.base.protocol == Protocol::kSaer) {
-          if (!burned[ui]) {
-            if (recv_total[ui] > cap) {
-              burned[ui] = 1;
-            } else {
-              accepted[ui] += rr;
-              flag = 1;
-            }
-          }
-        } else {
-          if (accepted[ui] + rr <= cap) {
-            accepted[ui] += rr;
-            flag = 1;
-          }
-        }
-      }
-      accept_flag[ui] = flag;
-    });
-
-    next_alive.clear();
-    for (std::size_t i = 0; i < m; ++i) {
-      const BallId b = alive[i];
-      if (accept_flag[target[i]]) {
-        latency.push_back(round - activation_round[b] + 1);
-      } else {
-        next_alive.push_back(b);
-      }
-    }
-    res.work_messages += 2 * static_cast<std::uint64_t>(m);
-    alive.swap(next_alive);
-
-    std::fill(round_recv.begin(), round_recv.end(), 0u);
-
-    std::uint64_t max_load = 0;
-    for (NodeId u = 0; u < n_servers; ++u)
-      max_load = std::max<std::uint64_t>(max_load, accepted[u]);
-    res.max_load_series.push_back(max_load);
-    res.backlog_series.push_back(alive.size());
-
-    if (alive.empty() && next_client == n_clients) break;
+    rounds = engine.step().round;
+    if (engine.exhausted()) break;
   }
-
-  res.rounds = round;
-  res.unassigned_balls = alive.size();
-  res.completed = alive.empty() && next_client == n_clients;
-  for (NodeId u = 0; u < n_servers; ++u) {
-    res.max_load = std::max<std::uint64_t>(res.max_load, accepted[u]);
-    res.burned_servers += burned[u];
-    res.failed_servers += failed[u];
-  }
-  if (!latency.empty()) {
-    IntHistogram h;
-    double sum = 0;
-    std::uint32_t lmax = 0;
-    for (std::uint32_t l : latency) {
-      h.add(l);
-      sum += l;
-      lmax = std::max(lmax, l);
-    }
-    res.latency_mean = sum / static_cast<double>(latency.size());
-    res.latency_p50 = static_cast<std::uint32_t>(h.quantile(0.50));
-    res.latency_p99 = static_cast<std::uint32_t>(h.quantile(0.99));
-    res.latency_max = lmax;
-  }
-  return res;
+  return engine.result(rounds);
 }
 
 }  // namespace saer

@@ -6,24 +6,53 @@
 // paper is that SAER reaches a metastable regime with good performance; the
 // fig9_dynamic bench measures exactly that (bounded load, stable per-cohort
 // assignment latency).
+//
+// Two entry points share one engine:
+//
+//  * DynamicEngine -- the incremental API.  Construct on a graph, feed it
+//    arrival batches with inject(), advance one protocol round at a time
+//    with step(), and read live ServiceMetrics with snapshot().  This is
+//    what `saer serve` drives for indefinitely long, externally paced
+//    runs (see cli/commands.cpp and net/load_injector.hpp).
+//
+//  * run_dynamic() -- the original one-shot batch interface, now a thin
+//    wrapper that replays its fixed arrival schedule through the engine.
+//    Its DynamicResult (every scalar and both per-round series) is
+//    bit-identical to the pre-engine implementation; the golden tests in
+//    tests/test_dynamic_golden.cpp pin that against an embedded copy of
+//    the monolithic loop.
+//
+// All randomness stays counter-based -- ball draws at (ball, round),
+// failure coins at (server, round) -- so stepping is schedule-independent
+// and independent of how arrivals are batched into inject() calls.
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/scatter.hpp"
 #include "graph/bipartite_graph.hpp"
+#include "util/fastdiv.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
 
 namespace saer {
 
 struct DynamicParams {
   ProtocolParams base;
   /// Clients activated per round, in id order; 0 means all at round 1.
+  /// Consumed by run_dynamic() only -- DynamicEngine arrivals come from
+  /// inject().
   std::uint32_t arrivals_per_round = 0;
   /// Extra rounds to run after the last arrival (drain window);
-  /// 0 selects default_max_rounds(n).
+  /// 0 selects default_max_rounds(n).  run_dynamic() only.
   std::uint32_t drain_rounds = 0;
   /// Per-round probability that a healthy server fails permanently.
   double server_failure_rate = 0.0;
+  /// Bucket width of the wall-clock settle-latency histogram kept by
+  /// DynamicEngine (microseconds per bucket); 1 keeps exact counts.
+  std::int64_t latency_bucket_us = 1;
 };
 
 struct DynamicResult {
@@ -45,6 +74,128 @@ struct DynamicResult {
   std::vector<std::uint64_t> max_load_series;
   /// Alive (activated but unassigned) balls per round.
   std::vector<std::uint64_t> backlog_series;
+};
+
+/// Live service observables at one instant (DynamicEngine::snapshot).
+struct ServiceMetrics {
+  std::uint32_t round = 0;
+  std::uint64_t injected_clients = 0;  ///< activated so far
+  std::uint64_t injected_balls = 0;    ///< injected_clients * d
+  std::uint64_t assigned_balls = 0;
+  std::uint64_t backlog = 0;           ///< activated but unassigned balls
+  std::uint64_t work_messages = 0;
+  std::uint64_t max_load = 0;
+  double mean_load = 0;                ///< assigned_balls / num_servers
+  std::uint64_t burned_servers = 0;
+  std::uint64_t failed_servers = 0;
+  std::uint64_t alive_servers = 0;     ///< neither burned nor failed
+  /// Settle latency of assigned balls, in rounds from activation.
+  IntHistogram latency_rounds;
+  /// Settle latency in microseconds (now_us at settle minus the inject
+  /// stamp), binned by DynamicParams::latency_bucket_us.
+  IntHistogram latency_us;
+  /// Accepted-ball count per server (the load distribution).
+  IntHistogram server_load;
+};
+
+/// One round's summary, returned by DynamicEngine::step.
+struct DynamicStepStats {
+  std::uint32_t round = 0;
+  std::uint64_t activated_balls = 0;  ///< balls entering this round
+  std::uint64_t settled_balls = 0;    ///< balls accepted this round
+  std::uint64_t backlog = 0;          ///< alive balls after the round
+  std::uint64_t max_load = 0;         ///< running max accepted load
+};
+
+/// Incremental dynamic-process engine.  Clients activate in id order: each
+/// inject() queues the next `count` client ids, which enter the protocol
+/// at the start of the next step().  step() runs exactly one round:
+/// activation, churn coins, phase 1 submissions, phase 2 verdicts, and
+/// settlement bookkeeping.  Stepping past the round in which everything
+/// settled is valid (churn continues, nothing else happens), which is what
+/// a quiescent service does between arrival bursts.
+class DynamicEngine {
+ public:
+  /// Validates parameters and captures the graph by reference (it must
+  /// outlive the engine).  Throws std::invalid_argument on a failure rate
+  /// outside [0,1) or a client with no admissible server.
+  DynamicEngine(const BipartiteGraph& graph, const DynamicParams& params);
+
+  /// Queues the next `count` clients (in id order) for activation at the
+  /// start of the next step().  `stamp_us` tags the batch for wall-clock
+  /// settle latency (pass the scheduled arrival time so open-loop pacing
+  /// measures coordinated omission, not injector lag).  Returns the count
+  /// actually queued, clamped to the clients remaining in the graph.
+  NodeId inject(NodeId count, std::uint64_t stamp_us = 0);
+
+  /// Runs one protocol round; `now_us` is the current (wall or virtual)
+  /// clock used for microsecond settle latencies.
+  DynamicStepStats step(std::uint64_t now_us = 0);
+
+  [[nodiscard]] std::uint32_t round() const noexcept { return round_; }
+  [[nodiscard]] std::uint64_t backlog() const noexcept { return alive_.size(); }
+  [[nodiscard]] NodeId injected_clients() const noexcept {
+    return next_client_;
+  }
+  [[nodiscard]] NodeId pending_clients() const noexcept {
+    return pending_total_;
+  }
+  [[nodiscard]] NodeId num_clients() const noexcept;
+  /// Every injected ball settled and no arrivals are queued.
+  [[nodiscard]] bool drained() const noexcept;
+  /// drained() and the whole graph has been injected.
+  [[nodiscard]] bool exhausted() const noexcept;
+
+  /// Current service observables (O(num_servers) scan).
+  [[nodiscard]] ServiceMetrics snapshot() const;
+
+  /// Batch-result view of the engine state; `reported_rounds` is the round
+  /// count the caller's loop observed (see run_dynamic for the one case
+  /// where it differs from round()).
+  [[nodiscard]] DynamicResult result(std::uint32_t reported_rounds) const;
+
+ private:
+  struct PendingBatch {
+    NodeId count = 0;
+    std::uint64_t stamp_us = 0;
+  };
+
+  void activate_pending();
+
+  const BipartiteGraph& graph_;
+  DynamicParams params_;
+  CounterRng rng_;
+  std::uint64_t cap_ = 0;
+  FastDiv32 by_d_;
+
+  std::uint32_t round_ = 0;
+  NodeId next_client_ = 0;       ///< clients activated so far
+  NodeId pending_total_ = 0;     ///< queued by inject(), not yet activated
+  std::deque<PendingBatch> pending_;
+  std::uint64_t activated_this_step_ = 0;
+
+  std::vector<BallId> alive_;
+  std::vector<BallId> next_alive_;
+  std::vector<NodeId> target_;
+  std::vector<std::uint32_t> activation_round_;
+  std::vector<std::uint64_t> stamp_us_;  ///< per client, set at activation
+
+  std::vector<std::uint32_t> round_recv_;
+  std::vector<std::uint64_t> recv_total_;
+  ScatterScratch scatter_;
+  std::vector<std::uint32_t> accepted_;
+  std::vector<std::uint8_t> burned_;
+  std::vector<std::uint8_t> failed_;
+  std::vector<std::uint8_t> accept_flag_;
+
+  std::uint64_t work_messages_ = 0;
+  std::uint64_t settled_balls_ = 0;
+  IntHistogram latency_rounds_;
+  IntHistogram latency_us_;
+  double latency_sum_ = 0;
+  std::uint32_t latency_max_ = 0;
+  std::vector<std::uint64_t> max_load_series_;
+  std::vector<std::uint64_t> backlog_series_;
 };
 
 /// Runs the dynamic process.  Ball b of client v activates in round

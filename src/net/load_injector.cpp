@@ -1,0 +1,124 @@
+#include "net/load_injector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace saer::net {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+ArrivalCurve parse_arrival_curve(const std::string& name) {
+  if (name == "constant") return ArrivalCurve::kConstant;
+  if (name == "poisson") return ArrivalCurve::kPoisson;
+  if (name == "bursty") return ArrivalCurve::kBursty;
+  throw std::invalid_argument("unknown arrival curve '" + name +
+                              "' (expected constant|poisson|bursty)");
+}
+
+const char* arrival_curve_name(ArrivalCurve curve) noexcept {
+  switch (curve) {
+    case ArrivalCurve::kConstant:
+      return "constant";
+    case ArrivalCurve::kPoisson:
+      return "poisson";
+    case ArrivalCurve::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+void LoadInjectorParams::validate() const {
+  if (!(rate >= 0.0) || !std::isfinite(rate))
+    throw std::invalid_argument("load injector: rate must be >= 0");
+  if (!(round_us > 0.0) || !std::isfinite(round_us))
+    throw std::invalid_argument("load injector: round-us must be > 0");
+  if (curve == ArrivalCurve::kBursty) {
+    if (!(burst_factor >= 0.0) || !std::isfinite(burst_factor))
+      throw std::invalid_argument("load injector: burst-factor must be >= 0");
+    if (!(burst_on_s > 0.0) || !(burst_off_s >= 0.0))
+      throw std::invalid_argument(
+          "load injector: burst-on-s must be > 0 and burst-off-s >= 0");
+  }
+}
+
+LoadInjector::LoadInjector(const LoadInjectorParams& params)
+    : params_(params), rng_(params.seed) {
+  params_.validate();
+}
+
+double LoadInjector::cumulative(double t_s) const noexcept {
+  if (t_s <= 0.0) return 0.0;
+  switch (params_.curve) {
+    case ArrivalCurve::kConstant:
+    case ArrivalCurve::kPoisson:
+      // The Poisson curve has the same mean integral; the randomness lives
+      // in the per-round draws.
+      return params_.rate * t_s;
+    case ArrivalCurve::kBursty: {
+      const double on = params_.burst_on_s;
+      const double period = on + params_.burst_off_s;
+      const double per_period =
+          params_.rate * (params_.burst_factor * on + params_.burst_off_s);
+      const double full = std::floor(t_s / period);
+      const double rem = t_s - full * period;
+      const double partial =
+          rem <= on ? params_.rate * params_.burst_factor * rem
+                    : params_.rate * (params_.burst_factor * on + (rem - on));
+      return full * per_period + partial;
+    }
+  }
+  return 0.0;
+}
+
+std::uint64_t LoadInjector::arrivals_for_round(std::uint32_t round) const {
+  if (round == 0) return 0;
+  const double dt_s = params_.round_us * 1e-6;
+  if (params_.curve == ArrivalCurve::kPoisson) {
+    const double lambda = params_.rate * dt_s;
+    if (lambda <= 0.0) return 0;
+    if (lambda < 64.0) {
+      // Knuth: count multiplications of uniforms until the product drops
+      // below exp(-lambda).  Draw k-th uniform at (round, k) so the count
+      // for a round never depends on any other round.
+      const double floor_p = std::exp(-lambda);
+      double p = 1.0;
+      std::uint64_t k = 0;
+      do {
+        p *= rng_.uniform01(round, k);
+        ++k;
+      } while (p > floor_p);
+      return k - 1;
+    }
+    // Large lambda: normal approximation via Box-Muller, clamped at zero.
+    const double u1 = rng_.uniform01(round, 0);
+    const double u2 = rng_.uniform01(round, 1);
+    const double z =
+        std::sqrt(-2.0 * std::log(1.0 - u1)) * std::cos(kTwoPi * u2);
+    const double v = std::round(lambda + std::sqrt(lambda) * z);
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v);
+  }
+  const double hi = cumulative(static_cast<double>(round) * dt_s);
+  const double lo = cumulative(static_cast<double>(round - 1) * dt_s);
+  return static_cast<std::uint64_t>(std::floor(hi)) -
+         static_cast<std::uint64_t>(std::floor(lo));
+}
+
+std::uint64_t LoadInjector::stamp_us_for_round(
+    std::uint32_t round) const noexcept {
+  if (round == 0) return 0;
+  return static_cast<std::uint64_t>(
+      static_cast<double>(round - 1) * params_.round_us);
+}
+
+std::uint64_t LoadInjector::expected_total(double duration_s) const {
+  double mean = cumulative(duration_s);
+  if (params_.curve == ArrivalCurve::kPoisson) {
+    // Mean plus six standard deviations comfortably covers the draw noise.
+    mean += 6.0 * std::sqrt(mean) + 64.0;
+  }
+  return static_cast<std::uint64_t>(std::ceil(mean)) + 1;
+}
+
+}  // namespace saer::net

@@ -1,0 +1,78 @@
+#pragma once
+// Open-loop load injection for `saer serve`: maps a target client-arrival
+// curve onto the engine's round clock.  The injector is deliberately
+// *stateless* -- the cohort arriving in round r is a pure function of the
+// parameters (and, for Poisson, of counter-based draws keyed on r), so a
+// run can be replayed byte-identically, resumed from any round, or sharded
+// without any injector state to checkpoint.
+//
+// Deterministic curves are realised by discretising the closed-form
+// cumulative arrival integral L(t): round r delivers
+// floor(L(r * dt)) - floor(L((r-1) * dt)) clients, which makes the
+// per-round counts sum exactly to floor(L(t)) at every prefix -- no
+// rounding drift at any rate, including rates far below one client per
+// round.  The Poisson curve draws each round's count independently from
+// CounterRng, which keeps it schedule-independent as well.
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace saer::net {
+
+enum class ArrivalCurve : std::uint8_t {
+  kConstant = 0,  ///< fixed rate
+  kPoisson = 1,   ///< Poisson counts with mean rate * dt per round
+  kBursty = 2,    ///< on/off square wave: rate * burst_factor, then rate
+};
+
+/// Parses "constant" / "poisson" / "bursty"; throws std::invalid_argument
+/// on anything else.
+[[nodiscard]] ArrivalCurve parse_arrival_curve(const std::string& name);
+[[nodiscard]] const char* arrival_curve_name(ArrivalCurve curve) noexcept;
+
+struct LoadInjectorParams {
+  ArrivalCurve curve = ArrivalCurve::kConstant;
+  double rate = 1000.0;      ///< mean client arrivals per second
+  double round_us = 1000.0;  ///< protocol round duration in microseconds
+  std::uint64_t seed = 1;    ///< Poisson draw seed (unused otherwise)
+  /// Bursty curve: intensity is rate * burst_factor for burst_on_s
+  /// seconds, then rate for burst_off_s seconds, repeating.
+  double burst_factor = 4.0;
+  double burst_on_s = 1.0;
+  double burst_off_s = 1.0;
+
+  void validate() const;  ///< throws std::invalid_argument
+};
+
+class LoadInjector {
+ public:
+  explicit LoadInjector(const LoadInjectorParams& params);
+
+  /// Clients arriving during round r (1-based).  Pure in r.
+  [[nodiscard]] std::uint64_t arrivals_for_round(std::uint32_t round) const;
+
+  /// Scheduled start of round r on the virtual clock: (r - 1) * round_us.
+  /// Cohorts are stamped with this -- the *scheduled* arrival time -- so
+  /// settle latency includes any injector lag (coordinated omission).
+  [[nodiscard]] std::uint64_t stamp_us_for_round(
+      std::uint32_t round) const noexcept;
+
+  /// Closed-form cumulative expected arrivals through t seconds.
+  [[nodiscard]] double cumulative(double t_s) const noexcept;
+
+  /// Upper estimate of arrivals over a duration, for topology auto-sizing
+  /// (adds a safety margin over the mean for the Poisson curve).
+  [[nodiscard]] std::uint64_t expected_total(double duration_s) const;
+
+  [[nodiscard]] const LoadInjectorParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  LoadInjectorParams params_;
+  CounterRng rng_;
+};
+
+}  // namespace saer::net

@@ -435,6 +435,88 @@ SweepRunRow parse_sweep_run_row(const std::string& line) {
   return row;
 }
 
+std::string serve_metrics_row_json(const ServeMetricsRow& row) {
+  std::string out = "{\"round\":" + std::to_string(row.round);
+  out += ",\"elapsed_us\":" + std::to_string(row.elapsed_us);
+  out += ",\"arrivals_per_s\":" + format_double_roundtrip(row.arrivals_per_s);
+  out += ",\"injected_clients\":" + std::to_string(row.injected_clients);
+  out += ",\"assigned_balls\":" + std::to_string(row.assigned_balls);
+  out += ",\"backlog\":" + std::to_string(row.backlog);
+  out += ",\"p50_rounds\":" + std::to_string(row.p50_rounds);
+  out += ",\"p99_rounds\":" + std::to_string(row.p99_rounds);
+  out += ",\"p999_rounds\":" + std::to_string(row.p999_rounds);
+  out += ",\"p50_us\":" + std::to_string(row.p50_us);
+  out += ",\"p99_us\":" + std::to_string(row.p99_us);
+  out += ",\"p999_us\":" + std::to_string(row.p999_us);
+  out += ",\"max_load\":" + std::to_string(row.max_load);
+  out += ",\"mean_load\":" + format_double_roundtrip(row.mean_load);
+  out += ",\"burned_servers\":" + std::to_string(row.burned_servers);
+  out += ",\"failed_servers\":" + std::to_string(row.failed_servers);
+  out += '}';
+  return out;
+}
+
+ServeMetricsRow parse_serve_metrics_row(const std::string& line) {
+  JsonCursor cursor(line);
+  ServeMetricsRow row;
+  cursor.expect('{');
+  cursor.expect_key("round");
+  row.round = cursor.parse_u32();
+  cursor.expect(',');
+  cursor.expect_key("elapsed_us");
+  row.elapsed_us = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("arrivals_per_s");
+  row.arrivals_per_s = cursor.parse_double();
+  cursor.expect(',');
+  cursor.expect_key("injected_clients");
+  row.injected_clients = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("assigned_balls");
+  row.assigned_balls = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("backlog");
+  row.backlog = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("p50_rounds");
+  row.p50_rounds = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("p99_rounds");
+  row.p99_rounds = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("p999_rounds");
+  row.p999_rounds = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("p50_us");
+  row.p50_us = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("p99_us");
+  row.p99_us = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("p999_us");
+  row.p999_us = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("max_load");
+  row.max_load = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("mean_load");
+  row.mean_load = cursor.parse_double();
+  cursor.expect(',');
+  cursor.expect_key("burned_servers");
+  row.burned_servers = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("failed_servers");
+  row.failed_servers = cursor.parse_u64();
+  cursor.expect('}');
+  cursor.expect_end();
+
+  if (row.p50_rounds > row.p99_rounds || row.p99_rounds > row.p999_rounds)
+    throw std::runtime_error("serve row: round percentiles out of order");
+  if (row.p50_us > row.p99_us || row.p99_us > row.p999_us)
+    throw std::runtime_error("serve row: microsecond percentiles out of order");
+  return row;
+}
+
 SweepJsonl read_sweep_jsonl(std::istream& is, const JsonlReadOptions& options) {
   SweepJsonl out;
   std::string line;

@@ -113,6 +113,39 @@ struct SweepRunRow {
 /// that contradicts its integer sources.
 [[nodiscard]] SweepRunRow parse_sweep_run_row(const std::string& line);
 
+/// One periodic metrics record of a `saer serve` run (see cli/commands.cpp):
+/// a service-level snapshot emitted every report interval and once at
+/// shutdown.  Latency percentiles appear twice -- in protocol rounds and in
+/// microseconds of (virtual or wall) clock -- because the round clock is
+/// what the theory bounds and the microsecond clock is what an operator
+/// pages on.  Same strict emit/parse discipline as the sweep rows: fixed
+/// key order, round-trip-exact doubles, derived fields validated.
+struct ServeMetricsRow {
+  std::uint32_t round = 0;
+  std::uint64_t elapsed_us = 0;        ///< clock since service start
+  double arrivals_per_s = 0.0;         ///< sustained: injected / elapsed
+  std::uint64_t injected_clients = 0;
+  std::uint64_t assigned_balls = 0;
+  std::uint64_t backlog = 0;           ///< activated, unassigned balls
+  std::uint64_t p50_rounds = 0;        ///< settle latency percentiles
+  std::uint64_t p99_rounds = 0;
+  std::uint64_t p999_rounds = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
+  std::uint64_t max_load = 0;
+  double mean_load = 0.0;              ///< assigned_balls / num_servers
+  std::uint64_t burned_servers = 0;
+  std::uint64_t failed_servers = 0;
+};
+
+/// Canonical one-line JSON emission of a metrics row (no trailing newline).
+[[nodiscard]] std::string serve_metrics_row_json(const ServeMetricsRow& row);
+
+/// Strict parse of one canonical metrics row; throws std::runtime_error
+/// with a byte offset on malformed input or unknown/reordered keys.
+[[nodiscard]] ServeMetricsRow parse_serve_metrics_row(const std::string& line);
+
 struct JsonlReadOptions {
   /// Tolerate a truncated final line (a crash mid-append): if the last line
   /// of the stream fails to parse it is skipped instead of throwing.  Every

@@ -213,4 +213,13 @@ std::vector<std::string> CliArgs::unknown_flags() const {
   return unknown;
 }
 
+void CliArgs::reject_unknown() const {
+  const auto unknown = unknown_flags();
+  if (unknown.empty()) return;
+  std::string msg = "unknown flag";
+  if (unknown.size() > 1) msg += 's';
+  for (const auto& name : unknown) msg += " --" + name;
+  throw std::invalid_argument(msg);
+}
+
 }  // namespace saer

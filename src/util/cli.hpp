@@ -47,6 +47,10 @@ class CliArgs {
   }
   /// Flags seen but never queried through a getter (typo detection).
   [[nodiscard]] std::vector<std::string> unknown_flags() const;
+  /// Throws std::invalid_argument listing unknown_flags(), if any.  Call
+  /// after every getter has run (a flag queried later would be a false
+  /// positive) -- each cmd_* does this right before doing real work.
+  void reject_unknown() const;
 
  private:
   void parse(const std::vector<std::string>& args);

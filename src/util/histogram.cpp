@@ -6,18 +6,30 @@
 
 namespace saer {
 
-void IntHistogram::ensure_range(std::int64_t value) {
+IntHistogram::IntHistogram(std::int64_t bucket_width) : bucket_(bucket_width) {
+  if (bucket_width < 1)
+    throw std::invalid_argument("IntHistogram: bucket width must be >= 1");
+}
+
+std::int64_t IntHistogram::bin(std::int64_t value) const noexcept {
+  if (bucket_ == 1) return value;
+  // Floor division: negative values bin toward -infinity so bucket lower
+  // bounds stay <= every member value.
+  return value >= 0 ? value / bucket_ : -((-value + bucket_ - 1) / bucket_);
+}
+
+void IntHistogram::ensure_range(std::int64_t binned) {
   if (counts_.empty()) {
-    offset_ = value;
+    offset_ = binned;
     counts_.assign(1, 0);
     return;
   }
-  if (value < offset_) {
-    const auto grow = static_cast<std::size_t>(offset_ - value);
+  if (binned < offset_) {
+    const auto grow = static_cast<std::size_t>(offset_ - binned);
     counts_.insert(counts_.begin(), grow, 0);
-    offset_ = value;
+    offset_ = binned;
   } else {
-    const auto idx = static_cast<std::size_t>(value - offset_);
+    const auto idx = static_cast<std::size_t>(binned - offset_);
     if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
   }
 }
@@ -30,18 +42,27 @@ void IntHistogram::add(std::int64_t value, std::uint64_t weight) {
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
   }
-  ensure_range(value);
-  counts_[static_cast<std::size_t>(value - offset_)] += weight;
+  const std::int64_t binned = bin(value);
+  ensure_range(binned);
+  counts_[static_cast<std::size_t>(binned - offset_)] += weight;
   total_ += weight;
 }
 
 void IntHistogram::merge(const IntHistogram& other) {
+  if (bucket_ != other.bucket_)
+    throw std::invalid_argument("IntHistogram::merge: bucket width mismatch");
   for (const auto& [v, c] : other.items()) add(v, c);
+  // Bucket lower bounds round raw extrema down; restore them exactly.
+  if (other.total_ != 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
 }
 
 std::uint64_t IntHistogram::count(std::int64_t value) const noexcept {
-  if (counts_.empty() || value < offset_) return 0;
-  const auto idx = static_cast<std::size_t>(value - offset_);
+  const std::int64_t binned = bin(value);
+  if (counts_.empty() || binned < offset_) return 0;
+  const auto idx = static_cast<std::size_t>(binned - offset_);
   return idx < counts_.size() ? counts_[idx] : 0;
 }
 
@@ -50,7 +71,8 @@ double IntHistogram::mean() const noexcept {
   double s = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i)
     s += static_cast<double>(counts_[i]) *
-         static_cast<double>(offset_ + static_cast<std::int64_t>(i));
+         static_cast<double>((offset_ + static_cast<std::int64_t>(i)) *
+                             bucket_);
   return s / static_cast<double>(total_);
 }
 
@@ -62,16 +84,24 @@ std::int64_t IntHistogram::quantile(double q) const {
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     cum += counts_[i];
-    if (cum >= target) return offset_ + static_cast<std::int64_t>(i);
+    if (cum >= target)
+      return (offset_ + static_cast<std::int64_t>(i)) * bucket_;
   }
-  return max_;
+  return bin(max_) * bucket_;
+}
+
+std::int64_t IntHistogram::percentile(double p) const {
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("percentile p outside [0,100]");
+  return quantile(p / 100.0);
 }
 
 double IntHistogram::tail_fraction(std::int64_t threshold) const noexcept {
   if (total_ == 0) return 0.0;
   std::uint64_t tail = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (offset_ + static_cast<std::int64_t>(i) >= threshold) tail += counts_[i];
+    if ((offset_ + static_cast<std::int64_t>(i)) * bucket_ >= threshold)
+      tail += counts_[i];
   }
   return static_cast<double>(tail) / static_cast<double>(total_);
 }
@@ -80,7 +110,8 @@ std::vector<std::pair<std::int64_t, std::uint64_t>> IntHistogram::items() const 
   std::vector<std::pair<std::int64_t, std::uint64_t>> out;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     if (counts_[i] != 0)
-      out.emplace_back(offset_ + static_cast<std::int64_t>(i), counts_[i]);
+      out.emplace_back((offset_ + static_cast<std::int64_t>(i)) * bucket_,
+                       counts_[i]);
   }
   return out;
 }

@@ -2,6 +2,13 @@
 // Integer-valued histogram for load distributions: the max-load figures
 // report counts of servers per load value, so an exact integer histogram
 // (rather than binned doubles) is the natural structure.
+//
+// A histogram may be constructed with a bucket width > 1 for wide-range
+// measurements such as microsecond wall-clock latencies: values are
+// binned to floor(value / width) and every query reports the bucket's
+// lower bound, so memory stays proportional to the value range divided
+// by the width.  The default width of 1 keeps the historical exact
+// behaviour.
 
 #include <cstddef>
 #include <cstdint>
@@ -12,32 +19,46 @@ namespace saer {
 
 class IntHistogram {
  public:
+  IntHistogram() = default;
+  /// Histogram binned to multiples of `bucket_width` (e.g. 100 for
+  /// microsecond latencies reported at 0.1 ms resolution).  Throws
+  /// std::invalid_argument unless bucket_width >= 1.
+  explicit IntHistogram(std::int64_t bucket_width);
+
   void add(std::int64_t value, std::uint64_t weight = 1);
+  /// Folds `other` in; both histograms must share one bucket width.
   void merge(const IntHistogram& other);
 
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
   [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+  [[nodiscard]] std::int64_t bucket_width() const noexcept { return bucket_; }
   [[nodiscard]] std::int64_t min() const noexcept { return min_; }
   [[nodiscard]] std::int64_t max() const noexcept { return max_; }
   [[nodiscard]] std::uint64_t count(std::int64_t value) const noexcept;
   [[nodiscard]] double mean() const noexcept;
-  /// Smallest value v such that P(X <= v) >= q.
+  /// Smallest bucket value v such that P(X <= v) >= q, q in [0, 1].
   [[nodiscard]] std::int64_t quantile(double q) const;
-  /// Fraction of mass at values >= threshold.
+  /// quantile(p / 100) for p in [0, 100]: percentile(99.9) is the p999
+  /// tail the service metrics report.
+  [[nodiscard]] std::int64_t percentile(double p) const;
+  /// Fraction of mass in buckets at values >= threshold.
   [[nodiscard]] double tail_fraction(std::int64_t threshold) const noexcept;
 
-  /// (value, count) pairs in increasing value order, zero-count gaps skipped.
+  /// (value, count) pairs in increasing value order, zero-count gaps
+  /// skipped; values are bucket lower bounds.
   [[nodiscard]] std::vector<std::pair<std::int64_t, std::uint64_t>> items() const;
 
   /// Renders a fixed-width ASCII bar chart (for figure binaries).
   [[nodiscard]] std::string ascii(std::size_t width = 50) const;
 
  private:
-  void ensure_range(std::int64_t value);
+  [[nodiscard]] std::int64_t bin(std::int64_t value) const noexcept;
+  void ensure_range(std::int64_t binned);
   std::vector<std::uint64_t> counts_;  // index 0 corresponds to offset_
-  std::int64_t offset_ = 0;
-  std::int64_t min_ = 0;
-  std::int64_t max_ = 0;
+  std::int64_t bucket_ = 1;
+  std::int64_t offset_ = 0;  // binned value of counts_[0]
+  std::int64_t min_ = 0;     // raw, not binned
+  std::int64_t max_ = 0;     // raw, not binned
   std::uint64_t total_ = 0;
 };
 

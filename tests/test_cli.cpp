@@ -153,5 +153,20 @@ TEST(CliAggregate, MultiInputDedupMatchesSingleInput) {
   fs::remove(twice);
 }
 
+TEST(CliDispatch, TypodFlagsAreRejectedPerCommand) {
+  // Every cmd_* calls args.reject_unknown() after its getters, so a typo
+  // like --jbos fails with exit 2 instead of being silently ignored.
+  const char* sweep_argv[] = {"saer",   "sweep", "--sizes", "64",
+                              "--reps", "1",     "--quiet", "--jbos",
+                              "4"};
+  EXPECT_EQ(cli::dispatch(9, sweep_argv), 2);
+  const char* run_argv[] = {"saer", "run", "--topology", "ring", "--n",
+                            "64",   "--c", "4",          "--sed", "1"};
+  EXPECT_EQ(cli::dispatch(10, run_argv), 2);
+  const char* stats_argv[] = {"saer", "stats", "--topology", "ring", "--n",
+                              "64",   "--radius", "2"};  // grid-only flag
+  EXPECT_EQ(cli::dispatch(8, stats_argv), 2);
+}
+
 }  // namespace
 }  // namespace saer

@@ -143,5 +143,43 @@ TEST(CliArgsLists, ValidListsAndFallbacksUnchanged) {
             (std::vector<std::uint64_t>{7}));
 }
 
+TEST(CliArgsUnknown, GettersMarkFlagsConsumed) {
+  const CliArgs args = make_args({"--jobs", "4", "--jsonl", "out.jsonl",
+                                  "--jbos", "8"});
+  (void)args.get_uint("jobs", 0);
+  (void)args.get("jsonl", "");
+  EXPECT_EQ(args.unknown_flags(), std::vector<std::string>{"jbos"});
+}
+
+TEST(CliArgsUnknown, RejectUnknownNamesEveryStrayFlag) {
+  const CliArgs args = make_args({"--jobs", "4", "--jbos", "8", "--sheed",
+                                  "1"});
+  (void)args.get_uint("jobs", 0);
+  try {
+    args.reject_unknown();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("--jbos"), std::string::npos) << what;
+    EXPECT_NE(what.find("--sheed"), std::string::npos) << what;
+  }
+}
+
+TEST(CliArgsUnknown, RejectUnknownPassesWhenAllConsumed) {
+  const CliArgs args = make_args({"--jobs", "4", "--quiet"});
+  (void)args.get_uint("jobs", 0);
+  (void)args.get_bool("quiet", false);
+  EXPECT_NO_THROW(args.reject_unknown());
+  // has() counts as consumption too.
+  const CliArgs probed = make_args({"--trace"});
+  (void)probed.has("trace");
+  EXPECT_NO_THROW(probed.reject_unknown());
+}
+
+TEST(CliArgsUnknown, BenchmarkFlagsArePassedThrough) {
+  const CliArgs args = make_args({"--benchmark_filter", "x"});
+  EXPECT_NO_THROW(args.reject_unknown());
+}
+
 }  // namespace
 }  // namespace saer

@@ -93,6 +93,71 @@ TEST(IntHistogram, AsciiRendersBars) {
   EXPECT_NE(art.find("10"), std::string::npos);
 }
 
+TEST(IntHistogram, PercentileMatchesQuantile) {
+  IntHistogram h;
+  for (int v = 1; v <= 1000; ++v) h.add(v);
+  EXPECT_EQ(h.percentile(50.0), h.quantile(0.50));
+  EXPECT_EQ(h.percentile(99.0), h.quantile(0.99));
+  // p999 target rank is (uint64)(0.999 * 999) + 1 = 999 of 1..1000.
+  EXPECT_EQ(h.percentile(99.9), 999);
+  EXPECT_EQ(h.percentile(0.0), 1);
+  EXPECT_EQ(h.percentile(100.0), 1000);
+  EXPECT_THROW(h.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW(h.percentile(100.5), std::invalid_argument);
+}
+
+TEST(IntHistogram, BucketWidthBinsToLowerBounds) {
+  IntHistogram h(100);  // e.g. microseconds at 0.1 ms resolution
+  EXPECT_EQ(h.bucket_width(), 100);
+  h.add(0);
+  h.add(99);
+  h.add(100);
+  h.add(250, 2);
+  h.add(-1);  // floor division: -1 bins to the [-100, 0) bucket
+  EXPECT_EQ(h.count(50), 2u);    // 0 and 99 share the [0, 100) bucket
+  EXPECT_EQ(h.count(100), 1u);
+  EXPECT_EQ(h.count(200), 2u);
+  EXPECT_EQ(h.count(-100), 1u);
+  EXPECT_EQ(h.min(), -1);   // raw extrema, not bucket bounds
+  EXPECT_EQ(h.max(), 250);
+  const auto items = h.items();
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_EQ(items.front().first, -100);  // bucket lower bound
+  EXPECT_EQ(items.back().first, 200);
+}
+
+TEST(IntHistogram, BucketWidthQuantilesReportBucketLowerBounds) {
+  IntHistogram h(1000);
+  for (int v = 0; v < 10000; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.5), 4000);   // 5000th value sits in [4000, 5000)
+  EXPECT_EQ(h.percentile(99.9), 9000);
+  EXPECT_DOUBLE_EQ(h.mean(), 4500.0);  // bucket representatives
+}
+
+TEST(IntHistogram, BucketWidthValidated) {
+  EXPECT_THROW(IntHistogram{0}, std::invalid_argument);
+  EXPECT_THROW(IntHistogram{-5}, std::invalid_argument);
+  EXPECT_NO_THROW(IntHistogram{1});
+}
+
+TEST(IntHistogram, MergeRequiresMatchingWidth) {
+  IntHistogram a(100);
+  IntHistogram b(10);
+  b.add(42);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+
+  IntHistogram c(100);
+  c.add(199);
+  c.add(5);
+  IntHistogram d(100);
+  d.add(201, 3);
+  c.merge(d);
+  EXPECT_EQ(c.total(), 5u);
+  EXPECT_EQ(c.count(250), 3u);
+  EXPECT_EQ(c.max(), 201);  // raw extremum restored exactly, not 200
+  EXPECT_EQ(c.min(), 5);
+}
+
 TEST(IntHistogram, NegativeGrowth) {
   IntHistogram h;
   h.add(5);
