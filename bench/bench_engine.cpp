@@ -87,6 +87,11 @@ const BipartiteGraph& cached_sparse_regular(NodeId n) {
   return it->second;
 }
 
+// Second axis: the intra-run team width.  Threads = 1 is the serial
+// baseline; wider rows measure the pipelined per-block merge + serve round
+// loop (results are bit-identical across the axis, so the ratio is pure
+// scheduling).  Real time, not CPU time: the team's helpers burn CPU on
+// purpose.
 void BM_SaerRunLargeN(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));
   const BipartiteGraph& g = cached_sparse_regular(n);
@@ -94,6 +99,7 @@ void BM_SaerRunLargeN(benchmark::State& state) {
   params.d = 2;
   params.c = 2.0;
   params.record_trace = false;
+  set_thread_count(static_cast<int>(state.range(1)));
   EngineWorkspace workspace;
   std::uint64_t seed = 1;
   for (auto _ : state) {
@@ -101,13 +107,16 @@ void BM_SaerRunLargeN(benchmark::State& state) {
     const RunResult res = run_protocol(g, params, workspace);
     benchmark::DoNotOptimize(res.max_load);
   }
+  set_thread_count(0);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * 2);
   state.counters["balls/s"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * n * 2,
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SaerRunLargeN)->Arg(1 << 20)->Arg(1 << 22)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SaerRunLargeN)
+    ->ArgsProduct({{1 << 20, 1 << 22}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 // The memory-lean mode at the same shapes: the delta to BM_SaerRunLargeN
 // is the cost of materializing (and filling) the O(n*d) assignment vector.

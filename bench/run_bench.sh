@@ -58,10 +58,19 @@ if [[ "$BUILD_TYPE" != "Release" && "${BENCH_ALLOW_UNOPTIMIZED:-0}" != "1" ]]; t
   exit 1
 fi
 
+# Thread context: BM_SaerRunLargeN carries a thread axis (each row calls
+# set_thread_count itself), but every other benchmark inherits the ambient
+# budget -- stamp it so a baseline recorded on a throttled/pinned box can
+# never be misread as one core-for-core comparable to another machine.
+OMP_THREADS="${OMP_NUM_THREADS:-unset}"
+HW_THREADS="$(nproc 2>/dev/null || echo unknown)"
+
 "$BENCH" \
   --benchmark_filter="$FILTER" \
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_context=saer_build_type="$BUILD_TYPE" \
+  --benchmark_context=saer_omp_num_threads="$OMP_THREADS" \
+  --benchmark_context=saer_hardware_threads="$HW_THREADS" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json
-echo "wrote $OUT (saer_build_type=$BUILD_TYPE)"
+echo "wrote $OUT (saer_build_type=$BUILD_TYPE omp_num_threads=$OMP_THREADS hw_threads=$HW_THREADS)"

@@ -11,6 +11,11 @@ namespace {
 /// Separate stream namespace for server-failure coin flips so they never
 /// collide with ball streams (balls use stream = ball id < n*d).
 constexpr std::uint64_t kFailureStreamBase = 0x8000'0000'0000'0000ULL;
+
+/// Alive balls below which a step skips the intra-run team (same policy as
+/// the batch engine's kIntraRunMinBalls; scheduling-only, results are
+/// bit-identical either way).
+constexpr std::size_t kTeamMinBalls = std::size_t{1} << 15;
 }  // namespace
 
 DynamicEngine::DynamicEngine(const BipartiteGraph& graph,
@@ -91,10 +96,27 @@ void DynamicEngine::activate_pending() {
   pending_total_ = 0;
 }
 
+ThreadTeam* DynamicEngine::team(int threads) {
+  if (threads <= 1) return nullptr;
+  const auto want = static_cast<unsigned>(threads);
+  if (team_ && team_->size() != want) team_.reset();
+  if (!team_) {
+    team_ = std::make_unique<ThreadTeam>(want, ThreadTeam::pin_requested());
+  }
+  return team_.get();
+}
+
 DynamicStepStats DynamicEngine::step(std::uint64_t now_us) {
   const NodeId n_servers = graph_.num_servers();
   ++round_;
   activate_pending();
+
+  // Serve-mode steps inherit the engine's intra-run parallelism: install
+  // the persistent team for this round's loops (churn coins, scatter,
+  // verdict scan, reset, max fold).  Small backlogs stay serial.
+  const int width =
+      alive_.size() >= kTeamMinBalls ? intra_run_threads() : 1;
+  const TeamRegion region(team(width));
 
   // Server churn: healthy servers fail independently.
   if (params_.server_failure_rate > 0.0) {
@@ -110,7 +132,8 @@ DynamicStepStats DynamicEngine::step(std::uint64_t now_us) {
   // always scans all servers because churn coins touch them anyway).
   const std::size_t m = alive_.size();
   scatter_count(
-      scatter_layout(m, n_servers), scatter_, m, round_recv_.data(), false,
+      scatter_layout(m, n_servers, static_cast<std::size_t>(parallel_width())),
+      scatter_, m, round_recv_.data(), false,
       [&](std::size_t i) {
         const BallId b = alive_[i];
         const auto v = static_cast<NodeId>(by_d_.quotient(b));
@@ -165,11 +188,10 @@ DynamicStepStats DynamicEngine::step(std::uint64_t now_us) {
   work_messages_ += 2 * static_cast<std::uint64_t>(m);
   alive_.swap(next_alive_);
 
-  std::fill(round_recv_.begin(), round_recv_.end(), 0u);
+  parallel_for(0, n_servers, [&](std::size_t ui) { round_recv_[ui] = 0; });
 
-  std::uint64_t max_load = 0;
-  for (NodeId u = 0; u < n_servers; ++u)
-    max_load = std::max<std::uint64_t>(max_load, accepted_[u]);
+  const std::uint64_t max_load = parallel_reduce_max_u64(
+      0, n_servers, [&](std::size_t ui) { return accepted_[ui]; });
   max_load_series_.push_back(max_load);
   backlog_series_.push_back(alive_.size());
 

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "core/protocol.hpp"
@@ -161,6 +162,10 @@ class DynamicEngine {
   };
 
   void activate_pending();
+  /// Lazily (re)built persistent intra-run team, mirroring
+  /// EngineWorkspace::team -- `saer serve` steps inherit the same parallel
+  /// round loops as batch runs.  Null when threads <= 1.
+  [[nodiscard]] ThreadTeam* team(int threads);
 
   const BipartiteGraph& graph_;
   DynamicParams params_;
@@ -196,6 +201,8 @@ class DynamicEngine {
   std::uint32_t latency_max_ = 0;
   std::vector<std::uint64_t> max_load_series_;
   std::vector<std::uint64_t> backlog_series_;
+
+  std::unique_ptr<ThreadTeam> team_;  ///< see team()
 };
 
 /// Runs the dynamic process.  Ball b of client v activates in round

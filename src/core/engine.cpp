@@ -164,6 +164,12 @@ DeepMetrics deep_scan(const BipartiteGraph& g, const std::uint32_t* round_recv,
   return m;
 }
 
+/// Balls below which a run skips the intra-run team entirely: a run this
+/// short finishes in the time the team's fork-join barriers would cost,
+/// and workspace-less callers would pay a thread spawn per run.  Purely a
+/// scheduling decision -- results are bit-identical either way.
+constexpr std::uint64_t kIntraRunMinBalls = 1ULL << 15;
+
 /// Shared round loop over any ball -> client map and cumulative-counter
 /// policy.
 ///
@@ -222,16 +228,21 @@ RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
       return balls ? balls[i] : static_cast<BallId>(i);
     };
     const bool sparse = m < sparse_threshold;
-    const ScatterLayout layout = scatter_layout(m, n_servers);
+    const ScatterLayout layout = scatter_layout(
+        m, n_servers, static_cast<std::size_t>(parallel_width()));
     ws.prepare_round(layout);
 
-    // Phase 1: every alive ball contacts a uniform random neighbor of its
-    // client (independent, with replacement -- Algorithm 1, lines 2-5).
-    // The scatter-count computes the per-server received counts with plain
-    // adds (core/scatter.hpp); in sparse rounds the merge's 0->1
-    // transitions emit the touch-lists and extend the run-lifetime dirty
-    // set (servers whose counters must be re-zeroed before workspace
-    // reuse) as a side effect of the same pass.
+    // Phases 1+2, pipelined per block: every alive ball contacts a uniform
+    // random neighbor of its client (independent, with replacement --
+    // Algorithm 1, lines 2-5), and the scatter-count computes the
+    // per-server received counts with plain adds (core/scatter.hpp).  In
+    // sparse rounds the merge's 0->1 transitions emit the touch-lists and
+    // extend the run-lifetime dirty set (servers whose counters must be
+    // re-zeroed before workspace reuse) as a side effect of the same pass.
+    // The Phase-2 serve/reset of a block rides the block's merge task (the
+    // `serve_block` epilogue below), so servers are judged while their
+    // counters are still hot in the merging worker's cache and no barrier
+    // separates the phases.
     if (sparse) {
       for (std::size_t bl = 0; bl < layout.n_blocks; ++bl)
         ws.touched_blocks[bl].clear();
@@ -261,19 +272,6 @@ RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
         ws.dirty_blocks[bl].push_back(u);
       }
     };
-    if constexpr (std::is_same_v<BallClient, UniformBallClient>) {
-      if (round == 1) {
-        scatter_count(layout, ws.scatter, m, round_recv, sparse,
-                      UniformRound1Sampler{graph, rng, params.d}, on_target,
-                      on_first_touch);
-      } else {
-        scatter_count(layout, ws.scatter, m, round_recv, sparse, sample_addr,
-                      on_target, on_first_touch);
-      }
-    } else {
-      scatter_count(layout, ws.scatter, m, round_recv, sparse, sample_addr,
-                    on_target, on_first_touch);
-    }
 
     // Phase 2: servers accept or reject the whole round (Algorithm 1,
     // lines 6-17).  Each block serves its own servers and folds its round
@@ -313,7 +311,7 @@ RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
     // cache lines are hot); round_recv is not otherwise observable, so
     // fusing changes no result bit.
     const bool fused_reset = !params.deep_trace;
-    parallel_for(0, layout.n_blocks, [&](std::size_t bl) {
+    const auto serve_block = [&](std::size_t bl) {
       RoundBlockStats s;
       if (sparse) {
         for (const NodeId ui : ws.touched_blocks[bl]) {
@@ -331,7 +329,31 @@ RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
         }
       }
       ws.block_stats[bl] = s;
-    });
+    };
+    // Single-chunk rounds call the count-only scatter and serve inline
+    // afterwards: fusing serve_block into the scatter instantiation is
+    // only useful when blocks merge concurrently, and keeping the serial
+    // 3-sweep pipeline in its own lean instantiation preserves its
+    // codegen (measured ~10% on small-n runs).
+    const auto scatter_round = [&](auto&& sampler) {
+      if (layout.n_chunks == 1) {
+        scatter_count(layout, ws.scatter, m, round_recv, sparse, sampler,
+                      on_target, on_first_touch);
+        serve_block(0);
+      } else {
+        scatter_count(layout, ws.scatter, m, round_recv, sparse, sampler,
+                      on_target, on_first_touch, serve_block);
+      }
+    };
+    if constexpr (std::is_same_v<BallClient, UniformBallClient>) {
+      if (round == 1) {
+        scatter_round(UniformRound1Sampler{graph, rng, params.d});
+      } else {
+        scatter_round(sample_addr);
+      }
+    } else {
+      scatter_round(sample_addr);
+    }
 
     RoundStats stats;
     stats.round = round;
@@ -432,29 +454,34 @@ RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
   res.rounds = round;
   res.alive_balls = alive_count;
   res.loads.assign(ws.accepted.begin(), ws.accepted.begin() + n_servers);
-  for (std::uint32_t load : res.loads)
-    res.max_load = std::max<std::uint64_t>(res.max_load, load);
+  res.max_load = parallel_reduce_max_u64(
+      0, n_servers, [&](std::size_t u) { return accepted[u]; });
   res.burned_servers = burned_total;
 
   // Restore the workspace's pristine invariant: round_recv is already zero
   // (reset every round), so only the cumulative state remains.  Dense
   // rounds don't track dirty servers, so any dense round forces the
-  // full-range clears; all-sparse runs pay only O(dirty).
+  // full-range clears (parallel over servers); all-sparse runs pay only
+  // O(dirty), parallel over the per-block dirty lists (each list owns its
+  // block's servers, so the clears never race).
   if (used_dense) {
-    recv.clear_all(n_servers);
-    std::fill(ws.accepted.begin(), ws.accepted.begin() + n_servers, 0u);
-    std::fill(ws.flags.begin(), ws.flags.begin() + n_servers,
-              std::uint8_t{0});
+    parallel_for(0, n_servers, [&](std::size_t ui) {
+      const auto u = static_cast<NodeId>(ui);
+      recv.clear(u);
+      accepted[u] = 0;
+      flags[u] = 0;
+    });
     for (std::vector<NodeId>& block : ws.dirty_blocks) block.clear();
   } else {
-    for (std::vector<NodeId>& block : ws.dirty_blocks) {
+    parallel_for(0, ws.dirty_blocks.size(), [&](std::size_t bl) {
+      std::vector<NodeId>& block = ws.dirty_blocks[bl];
       for (const NodeId u : block) {
         recv.clear(u);
         accepted[u] = 0;
         flags[u] = 0;
       }
       block.clear();
-    }
+    });
   }
   return res;
 }
@@ -466,6 +493,13 @@ RunResult run_dispatch(const BipartiteGraph& graph,
                        const BallClient& ball_client, EngineWorkspace& ws) {
   const bool wide = needs_wide_recv_total(params);
   ws.ensure(graph.num_servers(), total_balls, wide);
+  // Install the workspace's persistent team for the whole run; every
+  // parallel_for / reduction below dispatches to it.  Tiny runs stay
+  // serial (width 1 -> no team) -- a scheduling decision only, results
+  // are bit-identical for every width.
+  const int width =
+      total_balls >= kIntraRunMinBalls ? intra_run_threads() : 1;
+  const TeamRegion region(ws.team(width));
   if (wide) {
     return run_rounds(graph, params, total_balls, ball_client,
                       Recv64{ws.recv_total64.data()}, ws);

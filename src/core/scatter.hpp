@@ -29,6 +29,13 @@
 // Single-chunk rounds (one thread, or too few balls to split) skip the
 // bucketing entirely and increment counters directly in ball order -- the
 // layout only changes the memory schedule, never the counts.
+//
+// Both passes run as parallel_for loops, so inside a TeamRegion (see
+// util/parallel.hpp) chunks and block merges execute as independent tasks
+// on the engine's persistent ThreadTeam; pass B additionally accepts a
+// fused per-block epilogue (`block_done`) so the caller's server-side
+// Phase-2 work pipelines into the merge tasks instead of waiting for a
+// global barrier.
 
 #include <cstddef>
 #include <cstdint>
@@ -70,16 +77,22 @@ struct ScatterLayout {
   }
 };
 
-/// Picks the round's layout: one chunk per worker once there are enough
+/// Balls below which a chunk is not worth splitting off (see
+/// scatter_layout).
+inline constexpr std::size_t kScatterMinGrain = 1024;
+
+/// Picks the round's layout for a round loop running on `threads` workers
+/// (callers pass their executor's width -- the engine its team size, tests
+/// whatever shape they probe): one chunk per worker once there are enough
 /// balls to split (>= 1024 per chunk), and roughly four blocks per chunk so
 /// the merge load-balances, with blocks clamped to [2^6, 2^14] servers --
 /// at least a cache line of u32 counters, at most a comfortably L2-resident
 /// 64 KiB.  Single-chunk rounds collapse to one block covering everything.
 [[nodiscard]] inline ScatterLayout scatter_layout(std::size_t m,
-                                                  NodeId n_servers) {
-  constexpr std::size_t kMinGrain = 1024;
+                                                  NodeId n_servers,
+                                                  std::size_t threads) {
+  constexpr std::size_t kMinGrain = kScatterMinGrain;
   ScatterLayout layout;
-  const auto threads = static_cast<std::size_t>(configured_threads());
   if (threads > 1 && m >= 2 * kMinGrain) {
     layout.n_chunks = std::min(threads, m / kMinGrain);
   }
@@ -127,16 +140,27 @@ struct ScatterScratch {
 ///                      Only called when record_first_touch; `bl` is u's
 ///                      block index, valid as an index into per-block
 ///                      output buffers.
+///   block_done(bl)  -> invoked once per block, inside the SAME pass-B
+///                      task, after block bl's counters are final.  This
+///                      is the round pipeline hook: the engine fuses the
+///                      Phase-2 serve/reset of a block's servers here, so
+///                      a block is merged, served, and reset by one worker
+///                      while other blocks are still merging -- no barrier
+///                      between Phase 1 and Phase 2, and the counters are
+///                      read while still hot in the merging core's cache.
+///                      A block_done(bl) may touch only block bl's servers
+///                      and its own output slots.
 ///
 /// The adjacency lookup is a data-dependent random access into O(E) memory
 /// and dominates pass A, so addresses are computed and prefetched a block
 /// of 192 balls ahead of the consuming sweep -- identical draws, identical
 /// counts, only the memory schedule changes.
-template <class AddrOf, class OnTarget, class FirstTouch>
+template <class AddrOf, class OnTarget, class FirstTouch, class BlockDone>
 void scatter_count(const ScatterLayout& layout, ScatterScratch& scratch,
                    std::size_t m, std::uint32_t* counts,
                    bool record_first_touch, AddrOf&& addr_of,
-                   OnTarget&& on_target, FirstTouch&& first_touch) {
+                   OnTarget&& on_target, FirstTouch&& first_touch,
+                   BlockDone&& block_done) {
   constexpr std::size_t kBlock = 192;
   if (layout.n_chunks == 1) {
     // Three-sweep pipeline per 192-ball block: sweep 1 computes and
@@ -163,6 +187,7 @@ void scatter_count(const ScatterLayout& layout, ScatterScratch& scratch,
         if (counts[u]++ == 0 && record_first_touch) first_touch(0, u);
       }
     }
+    block_done(0);
     return;
   }
 
@@ -194,7 +219,20 @@ void scatter_count(const ScatterLayout& layout, ScatterScratch& scratch,
         if (counts[u]++ == 0 && record_first_touch) first_touch(bl, u);
       }
     }
+    block_done(bl);
   });
+}
+
+/// Count-only overload (no fused per-block epilogue).
+template <class AddrOf, class OnTarget, class FirstTouch>
+void scatter_count(const ScatterLayout& layout, ScatterScratch& scratch,
+                   std::size_t m, std::uint32_t* counts,
+                   bool record_first_touch, AddrOf&& addr_of,
+                   OnTarget&& on_target, FirstTouch&& first_touch) {
+  scatter_count(layout, scratch, m, counts, record_first_touch,
+                static_cast<AddrOf&&>(addr_of),
+                static_cast<OnTarget&&>(on_target),
+                static_cast<FirstTouch&&>(first_touch), [](std::size_t) {});
 }
 
 }  // namespace saer

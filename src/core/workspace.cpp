@@ -31,6 +31,16 @@ void EngineWorkspace::prepare_round(const ScatterLayout& layout) {
     alive_chunks.resize(layout.n_chunks);
 }
 
+ThreadTeam* EngineWorkspace::team(int threads) {
+  if (threads <= 1) return nullptr;
+  const auto want = static_cast<unsigned>(threads);
+  if (team_ && team_->size() != want) team_.reset();
+  if (!team_) {
+    team_ = std::make_unique<ThreadTeam>(want, ThreadTeam::pin_requested());
+  }
+  return team_.get();
+}
+
 std::unique_ptr<EngineWorkspace> WorkspacePool::acquire() {
   {
     std::lock_guard lock(mutex_);

@@ -81,6 +81,15 @@ struct EngineWorkspace {
   /// layout.  Buffer contents are reset by their writers, not here.
   void prepare_round(const ScatterLayout& layout);
 
+  /// The workspace's persistent intra-run ThreadTeam, (re)built lazily for
+  /// `threads` workers; null when threads <= 1 (serial run).  Living in the
+  /// workspace means one team per sweep worker, kept across every run of a
+  /// lease -- helpers are spawned once, and worker w's block slices stay on
+  /// one OS thread for the workspace's whole lifetime (the affinity
+  /// contract; see ThreadTeam).  Honors SAER_PIN_THREADS=1 for best-effort
+  /// CPU pinning.
+  [[nodiscard]] ThreadTeam* team(int threads);
+
   // Server-side SoA (indexed by server id; zero between runs).
   std::vector<std::uint32_t> round_recv;
   std::vector<std::uint32_t> recv_total32;
@@ -104,6 +113,9 @@ struct EngineWorkspace {
   std::vector<std::vector<NodeId>> dirty_blocks;
   std::vector<RoundBlockStats> block_stats;
   std::vector<std::vector<BallId>> alive_chunks;  ///< per-chunk survivors
+
+ private:
+  std::unique_ptr<ThreadTeam> team_;  ///< see team()
 };
 
 /// Mutex-guarded free list of workspaces for task-parallel callers (one

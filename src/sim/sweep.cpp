@@ -22,6 +22,7 @@
 #include "core/metrics.hpp"
 #include "core/workspace.hpp"
 #include "util/csv.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -575,6 +576,20 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
 
   ThreadPool pool(options_.jobs);
   result.jobs = pool.size();
+
+  // Arbitrate the core budget between sweep-level and run-level
+  // parallelism: with `active` workers actually busy, each leased
+  // workspace's round loop is capped to budget / active intra-run threads
+  // (>= 1), so `--jobs` composes with the engine's team instead of
+  // oversubscribing.  `active` counts pending runs, not pool width -- a
+  // grid with one giant pending run keeps the full budget for that run.
+  // Scheduling-only: results are bit-identical for any cap.
+  const std::size_t pending_runs =
+      shard_ranks.size() > frontier ? shard_ranks.size() - frontier : 1;
+  const auto active_workers = static_cast<int>(std::min<std::size_t>(
+      pool.size(), std::max<std::size_t>(1, pending_runs)));
+  const IntraRunThreadCap intra_cap(
+      std::max(1, configured_threads() / active_workers));
 
   // Phase 1: build shared topologies (resample_graph = false), one build per
   // unique (topology_key, graph seed) -- or per point when the key is 0.

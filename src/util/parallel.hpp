@@ -1,15 +1,38 @@
 #pragma once
-// Thin OpenMP wrapper: the engines call parallel_for / parallel_reduce and
-// stay correct (serial) when OpenMP is unavailable.  Index-based chunking
-// keeps the protocol schedule-independent because all randomness is
-// counter-based (see util/rng.hpp).
+// Intra-run parallel loops for the engines.  parallel_for and the
+// reductions dispatch, in priority order, to:
+//
+//   1. the thread-local active ThreadTeam (see TeamRegion below) -- the
+//      engine's persistent fork-join team, installed for the duration of
+//      one protocol run.  Worker w always executes the same contiguous
+//      index slice [len*w/W, len*(w+1)/W) of a loop, so for a fixed round
+//      layout a scatter block is merged, served, and reset by the same OS
+//      thread every round (cache/NUMA affinity by construction);
+//   2. OpenMP, when compiled in and no team is active (legacy path, still
+//      used by callers outside an engine run);
+//   3. a serial loop.
+//
+// All three produce bit-identical results for any width because every
+// shared-output fold in the engines is an order-independent exact integer
+// (or max) reduction and all randomness is counter-based (util/rng.hpp).
+//
+// Thread arbitration: configured_threads() is the process-wide budget
+// (set_thread_count, else OMP_NUM_THREADS, else hardware concurrency);
+// intra_run_threads() additionally respects the cap installed by
+// schedulers that already parallelize ACROSS runs (IntraRunThreadCap in
+// sim/sweep.cpp clamps it to max(1, budget / active workers) so `--jobs`
+// composes with run-level parallelism instead of oversubscribing).
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #if defined(SAER_HAVE_OPENMP)
 #include <omp.h>
 #endif
+
+#include "util/thread_pool.hpp"
 
 namespace saer {
 
@@ -20,12 +43,90 @@ namespace saer {
 void set_thread_count(int threads) noexcept;
 [[nodiscard]] int configured_threads() noexcept;
 
+/// Caps the threads any single run's round loop may use (0 lifts the cap).
+/// Set by schedulers that already fan runs out across workers; prefer the
+/// RAII IntraRunThreadCap.
+void set_intra_run_thread_cap(int cap) noexcept;
+[[nodiscard]] int intra_run_thread_cap() noexcept;
+
+/// Threads one run's round loop should use right now:
+/// min(configured_threads(), cap) when a cap is installed, else
+/// configured_threads().  Always >= 1.
+[[nodiscard]] int intra_run_threads() noexcept;
+
+/// RAII intra-run thread cap (restores the previous cap on destruction).
+class IntraRunThreadCap {
+ public:
+  explicit IntraRunThreadCap(int cap) noexcept : prev_(intra_run_thread_cap()) {
+    set_intra_run_thread_cap(cap);
+  }
+  ~IntraRunThreadCap() { set_intra_run_thread_cap(prev_); }
+  IntraRunThreadCap(const IntraRunThreadCap&) = delete;
+  IntraRunThreadCap& operator=(const IntraRunThreadCap&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// The ThreadTeam parallel loops on this thread currently dispatch to
+/// (null when none).  Swapped via TeamRegion.
+[[nodiscard]] ThreadTeam* active_team() noexcept;
+ThreadTeam* exchange_active_team(ThreadTeam* team) noexcept;
+
+/// Scoped activation: while alive, parallel_for / parallel_reduce_* called
+/// on THIS thread run on `team` (null = explicitly serial/OpenMP).  The
+/// engines install one around a run; the loops themselves clear it while
+/// executing the caller's slice so loop bodies can never re-enter the team.
+class TeamRegion {
+ public:
+  explicit TeamRegion(ThreadTeam* team) noexcept
+      : prev_(exchange_active_team(team)) {}
+  ~TeamRegion() { exchange_active_team(prev_); }
+  TeamRegion(const TeamRegion&) = delete;
+  TeamRegion& operator=(const TeamRegion&) = delete;
+
+ private:
+  ThreadTeam* prev_;
+};
+
+/// Width the NEXT parallel loop on this thread will fan out to: the active
+/// team's size, else the OpenMP width, else 1.  scatter_layout sizes its
+/// chunk partition with this.
+[[nodiscard]] int parallel_width() noexcept;
+
+namespace parallel_detail {
+/// Cache-line-padded per-worker partial, so reduction slots never share.
+template <class T>
+struct alignas(64) Padded {
+  T v{};
+};
+
+/// Worker w's slice of [0, len): contiguous, ascending, stable per (len,
+/// workers) -- the affinity contract documented on ThreadTeam.
+inline std::pair<std::size_t, std::size_t> slice(std::size_t len,
+                                                 unsigned workers,
+                                                 unsigned w) {
+  return {len * w / workers, len * (w + 1) / workers};
+}
+}  // namespace parallel_detail
+
 /// Applies body(i) for i in [begin, end) with static scheduling.
 template <class Body>
 void parallel_for(std::size_t begin, std::size_t end, Body&& body) {
+  if (end <= begin) return;
+  if (ThreadTeam* team = active_team(); team && end - begin > 1) {
+    const std::size_t len = end - begin;
+    const unsigned workers = team->size();
+    const TeamRegion no_reentry(nullptr);
+    team->run([&](unsigned w) {
+      const auto [lo, hi] = parallel_detail::slice(len, workers, w);
+      for (std::size_t i = lo; i < hi; ++i) body(begin + i);
+    });
+    return;
+  }
 #if defined(SAER_HAVE_OPENMP)
   const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
-  const int threads = configured_threads();
+  const int threads = intra_run_threads();
 #pragma omp parallel for schedule(static) num_threads(threads)
   for (std::int64_t i = 0; i < n; ++i) {
     body(begin + static_cast<std::size_t>(i));
@@ -39,9 +140,24 @@ void parallel_for(std::size_t begin, std::size_t end, Body&& body) {
 template <class Body>
 std::uint64_t parallel_reduce_sum(std::size_t begin, std::size_t end, Body&& body) {
   std::uint64_t total = 0;
+  if (end <= begin) return total;
+  if (ThreadTeam* team = active_team(); team && end - begin > 1) {
+    const std::size_t len = end - begin;
+    const unsigned workers = team->size();
+    std::vector<parallel_detail::Padded<std::uint64_t>> parts(workers);
+    const TeamRegion no_reentry(nullptr);
+    team->run([&](unsigned w) {
+      const auto [lo, hi] = parallel_detail::slice(len, workers, w);
+      std::uint64_t local = 0;
+      for (std::size_t i = lo; i < hi; ++i) local += body(begin + i);
+      parts[w].v = local;
+    });
+    for (const auto& part : parts) total += part.v;
+    return total;
+  }
 #if defined(SAER_HAVE_OPENMP)
   const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
-  const int threads = configured_threads();
+  const int threads = intra_run_threads();
 #pragma omp parallel for schedule(static) reduction(+ : total) num_threads(threads)
   for (std::int64_t i = 0; i < n; ++i) {
     total += body(begin + static_cast<std::size_t>(i));
@@ -54,14 +170,32 @@ std::uint64_t parallel_reduce_sum(std::size_t begin, std::size_t end, Body&& bod
 
 /// Max-reduction over [begin, end) of body(i) as uint64 (exact -- no
 /// float conversion, no atomics; used by the deep-trace scan's integral
-/// neighborhood maxima).
+/// neighborhood maxima and the end-of-run load fold).
 template <class Body>
 std::uint64_t parallel_reduce_max_u64(std::size_t begin, std::size_t end,
                                       Body&& body) {
   std::uint64_t best = 0;
+  if (end <= begin) return best;
+  if (ThreadTeam* team = active_team(); team && end - begin > 1) {
+    const std::size_t len = end - begin;
+    const unsigned workers = team->size();
+    std::vector<parallel_detail::Padded<std::uint64_t>> parts(workers);
+    const TeamRegion no_reentry(nullptr);
+    team->run([&](unsigned w) {
+      const auto [lo, hi] = parallel_detail::slice(len, workers, w);
+      std::uint64_t local = 0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const std::uint64_t v = body(begin + i);
+        if (v > local) local = v;
+      }
+      parts[w].v = local;
+    });
+    for (const auto& part : parts) best = part.v > best ? part.v : best;
+    return best;
+  }
 #if defined(SAER_HAVE_OPENMP)
   const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
-  const int threads = configured_threads();
+  const int threads = intra_run_threads();
 #pragma omp parallel for schedule(static) reduction(max : best) num_threads(threads)
   for (std::int64_t i = 0; i < n; ++i) {
     const std::uint64_t v = body(begin + static_cast<std::size_t>(i));
@@ -80,9 +214,27 @@ std::uint64_t parallel_reduce_max_u64(std::size_t begin, std::size_t end,
 template <class Body>
 double parallel_reduce_max(std::size_t begin, std::size_t end, Body&& body) {
   double best = 0.0;
+  if (end <= begin) return best;
+  if (ThreadTeam* team = active_team(); team && end - begin > 1) {
+    const std::size_t len = end - begin;
+    const unsigned workers = team->size();
+    std::vector<parallel_detail::Padded<double>> parts(workers);
+    const TeamRegion no_reentry(nullptr);
+    team->run([&](unsigned w) {
+      const auto [lo, hi] = parallel_detail::slice(len, workers, w);
+      double local = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        const double v = body(begin + i);
+        if (v > local) local = v;
+      }
+      parts[w].v = local;
+    });
+    for (const auto& part : parts) best = part.v > best ? part.v : best;
+    return best;
+  }
 #if defined(SAER_HAVE_OPENMP)
   const auto n = static_cast<std::int64_t>(end) - static_cast<std::int64_t>(begin);
-  const int threads = configured_threads();
+  const int threads = intra_run_threads();
 #pragma omp parallel for schedule(static) reduction(max : best) num_threads(threads)
   for (std::int64_t i = 0; i < n; ++i) {
     const double v = body(begin + static_cast<std::size_t>(i));

@@ -1,9 +1,44 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace saer {
+
+namespace {
+
+#if defined(__linux__)
+/// CPUs this process may run on, in kernel enumeration order (which
+/// interleaves NUMA nodes on multi-socket machines).  Empty on failure.
+std::vector<int> allowed_cpus() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  std::vector<int> cpus;
+  if (sched_getaffinity(0, sizeof set, &set) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &set)) cpus.push_back(cpu);
+    }
+  }
+  return cpus;
+}
+
+void pin_to_cpu(std::thread& thread, int cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  // Best effort: a failure (cpuset shrank, permissions) leaves the thread
+  // unpinned, which is the documented fallback.
+  pthread_setaffinity_np(thread.native_handle(), sizeof set, &set);
+}
+#endif
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -114,6 +149,106 @@ void ThreadPool::wait_idle() {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
     lock.unlock();
     std::rethrow_exception(error);
+  }
+}
+
+bool ThreadTeam::pin_requested() noexcept {
+  static const bool pin = [] {
+    const char* env = std::getenv("SAER_PIN_THREADS");
+    return env && env[0] == '1' && env[1] == '\0';
+  }();
+  return pin;
+}
+
+ThreadTeam::ThreadTeam(unsigned threads, bool pin_threads) {
+  const unsigned helpers = threads > 1 ? threads - 1 : 0;
+  helpers_.reserve(helpers);
+  for (unsigned w = 1; w <= helpers; ++w) {
+    helpers_.emplace_back([this, w] { helper_loop(w); });
+  }
+#if defined(__linux__)
+  if (pin_threads && helpers > 0) {
+    const std::vector<int> cpus = allowed_cpus();
+    // Only pin when every worker (caller included) can get its own CPU;
+    // an undersized mask means a shared/overcommitted box where pinning
+    // would serialize the team.
+    if (cpus.size() >= static_cast<std::size_t>(helpers) + 1) {
+      for (unsigned w = 0; w < helpers; ++w) {
+        pin_to_cpu(helpers_[w], cpus[(w + 1) % cpus.size()]);
+      }
+    }
+  }
+#else
+  (void)pin_threads;
+#endif
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  start_.notify_all();
+  for (std::thread& helper : helpers_) helper.join();
+}
+
+void ThreadTeam::run(const std::function<void(unsigned)>& body) {
+  if (helpers_.empty()) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    body_ = &body;
+    running_ = static_cast<unsigned>(helpers_.size());
+    ++generation_;
+  }
+  start_.notify_all();
+  // The caller is worker 0; its exception loses to an earlier helper's
+  // only in the sense that exactly one -- the first captured -- escapes.
+  std::exception_ptr caller_error;
+  try {
+    body(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    done_.wait(lock, [this] { return running_ == 0; });
+    body_ = nullptr;
+    error = first_error_ ? first_error_ : caller_error;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadTeam::helper_loop(unsigned worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* body = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_.wait(lock, [this, seen] {
+        return stopping_ || generation_ != seen;
+      });
+      if (stopping_) return;
+      seen = generation_;
+      body = body_;
+    }
+    std::exception_ptr error;
+    try {
+      (*body)(worker);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    bool last = false;
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      last = --running_ == 0;
+    }
+    if (last) done_.notify_one();
   }
 }
 

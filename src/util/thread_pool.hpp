@@ -1,9 +1,10 @@
 #pragma once
 // Work-stealing thread pool for coarse-grained task parallelism (whole
-// protocol runs, graph builds).  Complements the OpenMP parallel_for in
-// util/parallel.hpp, which stays responsible for intra-run loops: the pool
-// fans independent replications out across workers while each replication
-// may still use OpenMP internally.
+// protocol runs, graph builds) plus a persistent fork-join ThreadTeam for
+// fine-grained intra-run loops.  The pool fans independent replications out
+// across workers; each replication may additionally drive a ThreadTeam
+// through util/parallel.hpp's parallel_for (see TeamRegion there), with the
+// sweep scheduler arbitrating the core budget between the two levels.
 //
 // Design: one deque per worker.  A worker pops the oldest task from its own
 // deque (FIFO, so a single worker preserves submission order) and steals
@@ -19,6 +20,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -78,6 +80,71 @@ class ThreadPool {
   std::condition_variable all_idle_;
   std::size_t pending_ = 0;  ///< submitted but not yet finished
   std::size_t next_queue_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Persistent fork-join team for the engine's intra-run round loops.
+///
+/// Where ThreadPool schedules coarse independent tasks, a ThreadTeam runs
+/// ONE callable on every worker at once and barriers: run(body) invokes
+/// body(w) for each worker w in [0, size()), with the calling thread
+/// participating as worker 0 and size() - 1 resident helper threads as the
+/// rest.  The helpers persist across run() calls (and across protocol
+/// runs, when the team lives in an EngineWorkspace), so a round's three
+/// dispatches cost condvar wakeups, not thread spawns -- and worker w is
+/// the same OS thread every round, which is what keeps a scatter block's
+/// counters hot in one core's cache across rounds (util/parallel.hpp's
+/// team-backed parallel_for always hands worker w the same contiguous
+/// index range for a given loop shape).
+///
+/// Affinity: when `pin_threads` is set and the process's allowed-CPU mask
+/// has at least `threads` entries, helper w is pinned to the (w mod
+/// n_allowed)-th allowed CPU -- round-robin over the kernel's enumeration
+/// order, which interleaves NUMA nodes on multi-socket boxes.  When the
+/// mask is too small (shared containers, cpusets) or the platform has no
+/// pthread affinity, pinning degrades to the unpinned layout; results
+/// never depend on it.
+///
+/// Exceptions thrown by body are captured; the first one is rethrown from
+/// run() after the barrier.  run() must not be re-entered from inside a
+/// body (the team-aware parallel_for guards this by clearing the active
+/// team around the caller's slice).
+class ThreadTeam {
+ public:
+  /// SAER_PIN_THREADS=1 in the environment?  Engines pass this as
+  /// `pin_threads` so operators opt whole processes into pinning.
+  [[nodiscard]] static bool pin_requested() noexcept;
+
+  /// Spawns `threads - 1` helpers (so size() == max(threads, 1)).
+  explicit ThreadTeam(unsigned threads, bool pin_threads = false);
+
+  /// Finishes the in-flight run, if any, then joins the helpers.
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  /// Total workers, caller included.
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(helpers_.size()) + 1;
+  }
+
+  /// Runs body(w) on every worker w in [0, size()) and waits for all of
+  /// them.  The caller executes slot 0.  Serial (size() == 1) teams just
+  /// invoke body(0).
+  void run(const std::function<void(unsigned)>& body);
+
+ private:
+  void helper_loop(unsigned worker);
+
+  std::vector<std::thread> helpers_;
+  std::mutex mutex_;
+  std::condition_variable start_;
+  std::condition_variable done_;
+  const std::function<void(unsigned)>* body_ = nullptr;
+  std::uint64_t generation_ = 0;  ///< bumped per run(); helpers latch it
+  unsigned running_ = 0;          ///< helpers still inside the current run
   bool stopping_ = false;
   std::exception_ptr first_error_;
 };

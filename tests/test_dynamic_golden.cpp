@@ -107,7 +107,9 @@ DynamicResult reference_run_dynamic(const BipartiteGraph& graph,
 
     const std::size_t m = alive.size();
     scatter_count(
-        scatter_layout(m, n_servers), scatter, m, round_recv.data(), false,
+        scatter_layout(m, n_servers,
+                       static_cast<std::size_t>(parallel_width())),
+        scatter, m, round_recv.data(), false,
         [&](std::size_t i) {
           const BallId b = alive[i];
           const auto v = static_cast<NodeId>(by_d.quotient(b));

@@ -165,6 +165,25 @@ TEST(GoldenHash, RadixMatchesPreChangeAcrossJobs) {
   set_thread_count(0);
 }
 
+TEST(GoldenHash, LargeNAcrossTeamWidths) {
+  // Same pre-change golden as LargeNRadixPath, re-run at every team width.
+  // 2^18 balls clears kIntraRunMinBalls, so threads > 1 executes on the
+  // workspace's persistent ThreadTeam (the pipelined merge + serve path),
+  // and the hash pins that executor bit-for-bit against the seed engine.
+  const BipartiteGraph g = random_regular(1u << 17, 16, 2025);
+  ProtocolParams p;
+  p.d = 2;
+  p.c = 2.0;
+  p.seed = 555;
+  EngineWorkspace ws;
+  for (const int threads : {1, 2, 4, 8}) {
+    set_thread_count(threads);
+    EXPECT_EQ(hash_result(run_protocol(g, p, ws)), 0x992a28eebc3eb1a2ULL)
+        << "threads=" << threads;
+  }
+  set_thread_count(0);
+}
+
 TEST(GoldenHash, SparseDenseThresholdBoundary) {
   // Demands put the first round's alive count at n/8 + 4, a hair above the
   // sparse threshold (n_servers / 8), so the run enters on the dense path

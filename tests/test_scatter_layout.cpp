@@ -1,0 +1,114 @@
+// scatter_layout edge cases: the chunk/block partition the radix round
+// loop is built on.  The layout is pure scheduling -- counts are identical
+// for every shape -- but the engine indexes per-block buffers and walks
+// block ranges with it, so the partition must tile exactly: chunks cover
+// [0, m) and blocks cover [0, n_servers) with no gap, overlap, or
+// out-of-range block_of().
+
+#include <gtest/gtest.h>
+
+#include "core/scatter.hpp"
+#include "util/rng.hpp"
+
+namespace saer {
+namespace {
+
+/// Blocks must exactly tile [0, n_servers): block_begin(0) == 0, each
+/// block's end is the next block's begin, the last end clamps to
+/// n_servers, and block_of(u) agrees with the ranges.
+void expect_tiles(const ScatterLayout& layout, NodeId n_servers) {
+  ASSERT_GE(layout.n_blocks, 1u);
+  EXPECT_EQ(layout.block_begin(0), 0u);
+  for (std::size_t bl = 0; bl < layout.n_blocks; ++bl) {
+    const std::size_t lo = layout.block_begin(bl);
+    const std::size_t hi = layout.block_end(bl, n_servers);
+    EXPECT_LT(lo, hi) << "empty block " << bl;
+    if (bl + 1 < layout.n_blocks) {
+      EXPECT_EQ(hi, layout.block_begin(bl + 1)) << "gap after block " << bl;
+    } else {
+      EXPECT_EQ(hi, static_cast<std::size_t>(n_servers));
+    }
+    EXPECT_EQ(layout.block_of(static_cast<NodeId>(lo)), bl);
+    EXPECT_EQ(layout.block_of(static_cast<NodeId>(hi - 1)), bl);
+  }
+}
+
+TEST(ScatterLayout, BelowGrainCollapsesToSingleChunk) {
+  // m < 2 * kScatterMinGrain never splits, however many threads: a chunk
+  // below the grain costs more in bucket traffic than it parallelizes.
+  const ScatterLayout layout = scatter_layout(2 * kScatterMinGrain - 1,
+                                              1u << 16, 8);
+  EXPECT_EQ(layout.n_chunks, 1u);
+  EXPECT_EQ(layout.n_blocks, 1u);
+  EXPECT_EQ(layout.block_shift, 32u);
+  EXPECT_EQ(layout.chunk_size, 2 * kScatterMinGrain - 1);
+  expect_tiles(layout, 1u << 16);
+}
+
+TEST(ScatterLayout, AtGrainSplitsAndRespectsPerChunkMinimum) {
+  // Exactly 2 * grain balls: splits, but never below grain balls/chunk.
+  const ScatterLayout layout = scatter_layout(2 * kScatterMinGrain,
+                                              1u << 16, 8);
+  EXPECT_EQ(layout.n_chunks, 2u);
+  EXPECT_EQ(layout.chunk_size, kScatterMinGrain);
+  // 16 threads, 64Ki balls: the thread count wins once grain allows it.
+  const ScatterLayout wide = scatter_layout(1u << 16, 1u << 16, 16);
+  EXPECT_EQ(wide.n_chunks, 16u);
+}
+
+TEST(ScatterLayout, SingleThreadCollapses) {
+  const ScatterLayout layout = scatter_layout(1u << 20, 1u << 20, 1);
+  EXPECT_EQ(layout.n_chunks, 1u);
+  EXPECT_EQ(layout.n_blocks, 1u);
+  EXPECT_EQ(layout.block_shift, 32u);
+  expect_tiles(layout, 1u << 20);
+}
+
+TEST(ScatterLayout, BlockShiftClampsAtCacheLineFloor) {
+  // Few servers and many chunks: the target block count exceeds what 2^6
+  // blocks provide, but the shift must not drop below 6 (a cache line of
+  // u32 counters -- smaller blocks false-share).
+  const ScatterLayout layout = scatter_layout(1u << 20, 256, 16);
+  EXPECT_EQ(layout.block_shift, 6u);
+  EXPECT_EQ(layout.n_blocks, 256u >> 6);
+  expect_tiles(layout, 256);
+}
+
+TEST(ScatterLayout, BlockShiftClampsAtL2Ceiling) {
+  // Huge server side, few chunks: without the 2^14 ceiling the shift would
+  // keep growing to hit ~4 blocks/chunk; 64 KiB of counters per block is
+  // the documented L2 bound.
+  const ScatterLayout layout = scatter_layout(1u << 22, 1u << 26, 2);
+  EXPECT_EQ(layout.n_chunks, 2u);
+  EXPECT_EQ(layout.block_shift, 14u);
+  EXPECT_EQ(layout.n_blocks, (1u << 26) >> 14);
+  expect_tiles(layout, 1u << 26);
+}
+
+TEST(ScatterLayout, RandomizedShapesTileExactly) {
+  // Property test over randomized (m, n_servers, threads): the block
+  // partition tiles [0, n_servers) exactly and at least ~4 blocks exist
+  // per chunk whenever the clamps allow it.
+  const CounterRng rng(0xfeed);
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    const std::size_t m = 1 + rng.bounded(trial, 1, 1u << 22);
+    const NodeId n_servers =
+        static_cast<NodeId>(1 + rng.bounded(trial, 2, 1u << 24));
+    const std::size_t threads = 1 + rng.bounded(trial, 3, 16);
+    const ScatterLayout layout = scatter_layout(m, n_servers, threads);
+    ASSERT_GE(layout.n_chunks, 1u);
+    ASSERT_GE(layout.chunk_size, 1u);
+    // Chunks tile [0, m): n_chunks - 1 full chunks plus a non-empty tail.
+    EXPECT_GE(layout.n_chunks * layout.chunk_size, m);
+    EXPECT_LT((layout.n_chunks - 1) * layout.chunk_size, m);
+    if (layout.n_chunks > 1) {
+      EXPECT_GE(layout.chunk_size, kScatterMinGrain);
+      EXPECT_GE(layout.block_shift, 6u);
+      EXPECT_LE(layout.block_shift, 14u);
+    }
+    expect_tiles(layout, n_servers);
+  }
+}
+
+}  // namespace
+}  // namespace saer

@@ -1,12 +1,17 @@
-// Tests for the work-stealing ThreadPool.
+// Tests for the work-stealing ThreadPool and the fork-join ThreadTeam
+// (including the team-backed parallel_for / reduction dispatch).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "util/parallel.hpp"
 #include "util/thread_pool.hpp"
 
 namespace saer {
@@ -103,6 +108,122 @@ TEST(ThreadPool, DestructorDrainsPendingTasks) {
     }
   }
   EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadTeam, EveryWorkerRunsOncePerDispatch) {
+  ThreadTeam team(4);
+  ASSERT_EQ(team.size(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  team.run([&](unsigned w) { hits[w].fetch_add(1); });
+  for (unsigned w = 0; w < 4; ++w) EXPECT_EQ(hits[w].load(), 1) << w;
+}
+
+TEST(ThreadTeam, CallerParticipatesAsWorkerZero) {
+  ThreadTeam team(3);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id seen;
+  team.run([&](unsigned w) {
+    if (w == 0) seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadTeam, SerialTeamJustInvokesBody) {
+  ThreadTeam team(1);
+  EXPECT_EQ(team.size(), 1u);
+  int calls = 0;
+  team.run([&](unsigned w) {
+    EXPECT_EQ(w, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadTeam, ReusableAcrossManyDispatches) {
+  // The whole point of the persistent team: thousands of run() calls (one
+  // engine round costs three) reuse the same helpers.
+  ThreadTeam team(4);
+  std::atomic<std::uint64_t> total{0};
+  for (int i = 0; i < 2000; ++i) {
+    team.run([&](unsigned) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 2000u * 4u);
+}
+
+TEST(ThreadTeam, RethrowsFirstBodyException) {
+  ThreadTeam team(4);
+  EXPECT_THROW(team.run([](unsigned w) {
+                 if (w == 1) throw std::runtime_error("helper boom");
+               }),
+               std::runtime_error);
+  EXPECT_THROW(team.run([](unsigned w) {
+                 if (w == 0) throw std::runtime_error("caller boom");
+               }),
+               std::runtime_error);
+  // The error is consumed: the team is reusable afterwards.
+  std::atomic<int> counter{0};
+  team.run([&](unsigned) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 4);
+}
+
+TEST(ThreadTeam, TeamRegionRoutesParallelForThroughTeam) {
+  ThreadTeam team(4);
+  const TeamRegion region(&team);
+  EXPECT_EQ(parallel_width(), 4);
+  std::vector<int> hits(10000, 0);
+  parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadTeam, TeamReductionsMatchSerial) {
+  std::vector<std::uint64_t> values(4321);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = (i * 2654435761u) % 100003;
+  }
+  std::uint64_t want_sum = 0, want_max = 0;
+  for (const std::uint64_t v : values) {
+    want_sum += v;
+    want_max = std::max(want_max, v);
+  }
+  ThreadTeam team(4);
+  const TeamRegion region(&team);
+  EXPECT_EQ(parallel_reduce_sum(0, values.size(),
+                                [&](std::size_t i) { return values[i]; }),
+            want_sum);
+  EXPECT_EQ(parallel_reduce_max_u64(0, values.size(),
+                                    [&](std::size_t i) { return values[i]; }),
+            want_max);
+  EXPECT_EQ(parallel_reduce_max(
+                0, values.size(),
+                [&](std::size_t i) { return static_cast<double>(values[i]); }),
+            static_cast<double>(want_max));
+}
+
+TEST(ThreadTeam, NestedParallelForSerializesInsideBody) {
+  // Loop bodies must not re-enter the team: a parallel_for inside a
+  // team-dispatched body sees no active team and runs its indices inline.
+  ThreadTeam team(4);
+  const TeamRegion region(&team);
+  std::atomic<int> inner_total{0};
+  parallel_for(0, 4, [&](std::size_t) {
+    EXPECT_EQ(active_team(), nullptr);
+    parallel_for(0, 8, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadTeam, TeamRegionRestoresPreviousTeam) {
+  ThreadTeam outer(2);
+  const TeamRegion region(&outer);
+  EXPECT_EQ(active_team(), &outer);
+  {
+    ThreadTeam inner(3);
+    const TeamRegion nested(&inner);
+    EXPECT_EQ(active_team(), &inner);
+  }
+  EXPECT_EQ(active_team(), &outer);
 }
 
 }  // namespace
