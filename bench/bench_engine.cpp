@@ -118,6 +118,39 @@ BENCHMARK(BM_SaerRunLargeN)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Implicit-topology axis at the BM_SaerRunLargeN shapes: no edge arrays
+// exist, every sampled neighborhood is regenerated from (graph_seed,
+// client) inside the round loop.  The delta to BM_SaerRunLargeN is the
+// regeneration cost; the payoff is O(1) topology memory (the stored twin's
+// adjacency at n=2^22, delta=16 is ~0.5 GiB; at 2^26 it would be ~8 GiB,
+// which is what the CI RSS gate bounds).  Runs are bit-identical to the
+// stored twin by the materialized-twin contract.
+void BM_SaerRunImplicit(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const ImplicitRegularTopology topo(n, 16, 7);
+  ProtocolParams params;
+  params.d = 2;
+  params.c = 2.0;
+  params.record_trace = false;
+  set_thread_count(static_cast<int>(state.range(1)));
+  EngineWorkspace workspace;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    params.seed = ++seed;
+    const RunResult res = run_protocol(topo, params, workspace);
+    benchmark::DoNotOptimize(res.max_load);
+  }
+  set_thread_count(0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n * 2);
+  state.counters["balls/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * n * 2,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SaerRunImplicit)
+    ->ArgsProduct({{1 << 20, 1 << 22}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // The memory-lean mode at the same shapes: the delta to BM_SaerRunLargeN
 // is the cost of materializing (and filling) the O(n*d) assignment vector.
 void BM_SaerRunNoAssignment(benchmark::State& state) {

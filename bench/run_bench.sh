@@ -33,7 +33,7 @@ set -euo pipefail
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT="${1:-BENCH.json}"
-FILTER="${BENCH_FILTER:-BM_SaerRun/|BM_SaerRunWorkspace|BM_SaerRunLargeN|BM_SaerRunNoAssignment|BM_SaerThresholdBoundary|BM_SaerSparseRounds|BM_RaesRun|BM_SweepScheduler}"
+FILTER="${BENCH_FILTER:-BM_SaerRun/|BM_SaerRunWorkspace|BM_SaerRunLargeN|BM_SaerRunImplicit|BM_SaerRunNoAssignment|BM_SaerThresholdBoundary|BM_SaerSparseRounds|BM_RaesRun|BM_SweepScheduler}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
 BENCH="$BUILD_DIR/bench_engine"
@@ -65,12 +65,50 @@ fi
 OMP_THREADS="${OMP_NUM_THREADS:-unset}"
 HW_THREADS="$(nproc 2>/dev/null || echo unknown)"
 
-"$BENCH" \
-  --benchmark_filter="$FILTER" \
-  --benchmark_min_time="$MIN_TIME" \
-  --benchmark_context=saer_build_type="$BUILD_TYPE" \
-  --benchmark_context=saer_omp_num_threads="$OMP_THREADS" \
-  --benchmark_context=saer_hardware_threads="$HW_THREADS" \
-  --benchmark_out="$OUT" \
-  --benchmark_out_format=json
-echo "wrote $OUT (saer_build_type=$BUILD_TYPE omp_num_threads=$OMP_THREADS hw_threads=$HW_THREADS)"
+# Peak RSS: --benchmark_context values are stamped before the run starts,
+# but peak RSS is only known after it ends, so the bench process runs under
+# GNU time and the measured maximum is injected into the JSON context
+# afterwards.  max_rss_kib covers the whole bench invocation (the high-water
+# mark across all benchmarks in the filter), which is what the BENCH_*
+# snapshots need to track the memory trajectory: the stored 2^22 adjacency
+# dominates it today, and the implicit axis is what keeps it flat as n grows.
+BENCH_CMD=("$BENCH"
+  --benchmark_filter="$FILTER"
+  --benchmark_min_time="$MIN_TIME"
+  --benchmark_context=saer_build_type="$BUILD_TYPE"
+  --benchmark_context=saer_omp_num_threads="$OMP_THREADS"
+  --benchmark_context=saer_hardware_threads="$HW_THREADS"
+  --benchmark_out="$OUT"
+  --benchmark_out_format=json)
+
+TIME_BIN="/usr/bin/time"
+TIME_LOG="$(mktemp)"
+trap 'rm -f "$TIME_LOG"' EXIT
+
+if [[ -x "$TIME_BIN" ]]; then
+  "$TIME_BIN" -v -o "$TIME_LOG" "${BENCH_CMD[@]}"
+  MAX_RSS_KIB="$(sed -n 's/.*Maximum resident set size (kbytes): //p' "$TIME_LOG" | head -n1)"
+elif command -v python3 >/dev/null 2>&1; then
+  # ru_maxrss from getrusage(RUSAGE_CHILDREN) is in KiB on Linux -- the
+  # same unit GNU time reports as "kbytes".
+  python3 - "$TIME_LOG" "${BENCH_CMD[@]}" <<'PY'
+import resource, subprocess, sys
+log, cmd = sys.argv[1], sys.argv[2:]
+rc = subprocess.call(cmd)
+with open(log, "w") as f:
+    f.write(str(resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss) + "\n")
+sys.exit(rc)
+PY
+  MAX_RSS_KIB="$(head -n1 "$TIME_LOG")"
+else
+  echo "run_bench.sh: neither $TIME_BIN nor python3 found; max_rss_kib unmeasured" >&2
+  "${BENCH_CMD[@]}"
+  MAX_RSS_KIB=""
+fi
+
+# google-benchmark's JSON opens with `{\n  "context": {`, so inserting the
+# field right after that line keeps it inside context without a JSON parser.
+if [[ -n "$MAX_RSS_KIB" ]]; then
+  sed -i "0,/\"context\": {/s//\"context\": {\n    \"max_rss_kib\": $MAX_RSS_KIB,/" "$OUT"
+fi
+echo "wrote $OUT (saer_build_type=$BUILD_TYPE omp_num_threads=$OMP_THREADS hw_threads=$HW_THREADS max_rss_kib=${MAX_RSS_KIB:-unmeasured})"

@@ -17,6 +17,7 @@
 #include "graph/degree_stats.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph_io.hpp"
+#include "graph/implicit_topology.hpp"
 #include "graph/spectral.hpp"
 #include "net/load_injector.hpp"
 #include "sim/aggregate.hpp"
@@ -71,6 +72,18 @@ GraphFactory make_topology_factory(const std::string& topology, NodeId n,
   }
   if (topology == "complete") {
     return [n](std::uint64_t) { return complete_bipartite(n, n); };
+  }
+  if (topology == "implicit-regular" || topology == "implicit-regular-stored") {
+    // Both names describe the same Delta-left-regular distribution, defined
+    // by ImplicitRegularTopology's regeneration contract.  `saer sweep`
+    // intercepts "implicit-regular" before this factory is ever called and
+    // runs the engine's O(1)-topology-memory path; every other command (and
+    // the "-stored" twin everywhere, including sweep) materializes here.
+    // The twin exists so CI/tests can byte-compare an implicit sweep's
+    // streams against a stored run of the identical distribution.
+    return [n, delta](std::uint64_t seed) {
+      return ImplicitRegularTopology(n, delta, seed).materialize();
+    };
   }
   throw std::invalid_argument("unknown --topology " + topology);
 }
@@ -260,10 +273,28 @@ int cmd_sweep(const CliArgs& args) {
     return 2;
   }
 
+  // "implicit-regular" runs the engine's O(1)-topology-memory path: points
+  // carry an ImplicitFactory and never materialize a graph.  Every other
+  // topology (including the "implicit-regular-stored" twin) goes through
+  // the ordinary GraphFactory.  Point labels are topology-free, so an
+  // implicit sweep's CSV/JSONL streams are byte-identical to the stored
+  // twin's -- which is exactly what the CI equivalence gate cmp's.
+  const bool implicit = topology == "implicit-regular";
+
   std::vector<SweepPoint> grid;
   for (const std::uint64_t n64 : sizes) {
     const auto n = static_cast<NodeId>(n64);
-    const GraphFactory factory = make_topology_factory(topology, n, args);
+    GraphFactory factory;
+    ImplicitFactory implicit_factory;
+    if (implicit) {
+      const auto delta = static_cast<std::uint32_t>(
+          args.get_uint("delta", theorem_degree(n)));
+      implicit_factory = [n, delta](std::uint64_t topo_seed) {
+        return ImplicitRegularTopology(n, delta, topo_seed);
+      };
+    } else {
+      factory = make_topology_factory(topology, n, args);
+    }
     for (const std::uint64_t d : ds) {
       for (const double c : cs) {
         for (const Protocol proto : protocols) {
@@ -271,6 +302,7 @@ int cmd_sweep(const CliArgs& args) {
           point.label = to_string(proto) + " n=" + std::to_string(n64) +
                         " d=" + std::to_string(d) + " c=" + Table::num(c, 2);
           point.factory = factory;
+          point.implicit_factory = implicit_factory;
           point.config.params.protocol = proto;
           point.config.params.d = static_cast<std::uint32_t>(d);
           point.config.params.c = c;
@@ -630,7 +662,14 @@ std::string usage() {
          "             --duration-rounds runs on a virtual clock, making\n"
          "             the metrics stream byte-identical across runs;\n"
          "             --n defaults to the expected arrival volume)\n"
-         "topologies: regular ring grid trust almost complete\n";
+         "topologies: regular ring grid trust almost complete\n"
+         "            implicit-regular implicit-regular-stored\n"
+         "            (implicit-regular regenerates neighborhoods from the\n"
+         "             seed instead of storing edges: `sweep` runs it in\n"
+         "             O(1) topology memory -- combine with --no-assignment\n"
+         "             for n >= 2^26 -- and other commands materialize it;\n"
+         "             implicit-regular-stored always materializes the\n"
+         "             identical distribution, for byte-level comparison)\n";
 }
 
 int dispatch(int argc, const char* const* argv) {

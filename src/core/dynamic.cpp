@@ -1,6 +1,7 @@
 #include "core/dynamic.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
 
 #include "util/parallel.hpp"
@@ -16,46 +17,99 @@ constexpr std::uint64_t kFailureStreamBase = 0x8000'0000'0000'0000ULL;
 /// the batch engine's kIntraRunMinBalls; scheduling-only, results are
 /// bit-identical either way).
 constexpr std::size_t kTeamMinBalls = std::size_t{1} << 15;
+
+/// Implicit-mode Phase-1 sampler.  Mirrors the batch engine's
+/// ImplicitSource cursor: the client's row is regenerated once per run of
+/// consecutive same-client balls, and -- because scatter_count dereferences
+/// addresses up to kScatterPipeline calls after addr_of returns them --
+/// each sampled server is resolved now and parked in a pipeline-deep ring.
+/// scatter_count copies the sampler per chunk, so the row buffer and ring
+/// are chunk-private by construction.
+struct ImplicitStepSampler {
+  const ImplicitRegularTopology* topo;
+  const BallId* alive;
+  const CounterRng* rng;
+  FastDiv32 by_d;
+  std::uint32_t round;
+  std::vector<NodeId> row;
+  NodeId cached_v = kUnassigned;
+  std::array<NodeId, kScatterPipeline> ring{};
+
+  const NodeId* operator()(std::size_t i) {
+    const BallId b = alive[i];
+    const auto v = static_cast<NodeId>(by_d.quotient(b));
+    if (v != cached_v) {
+      cached_v = v;
+      topo->neighbors(v, row);
+    }
+    const std::uint64_t k = rng->bounded(b, round, topo->degree());
+    NodeId& slot = ring[i % kScatterPipeline];
+    slot = row[k];
+    return &slot;
+  }
+};
 }  // namespace
 
 DynamicEngine::DynamicEngine(const BipartiteGraph& graph,
                              const DynamicParams& params)
-    : graph_(graph),
+    : graph_(&graph),
+      n_clients_(graph.num_clients()),
+      n_servers_(graph.num_servers()),
       params_(params),
       rng_(params.base.seed),
       by_d_(params.base.d),
       latency_us_(params.latency_bucket_us) {
+  init();
+}
+
+DynamicEngine::DynamicEngine(const ImplicitRegularTopology& topology,
+                             const DynamicParams& params)
+    : topo_(topology),
+      n_clients_(topology.num_clients()),
+      n_servers_(topology.num_servers()),
+      params_(params),
+      rng_(params.base.seed),
+      by_d_(params.base.d),
+      latency_us_(params.latency_bucket_us) {
+  init();
+}
+
+void DynamicEngine::init() {
   params_.base.validate();
   if (params_.server_failure_rate < 0.0 || params_.server_failure_rate >= 1.0)
     throw std::invalid_argument("run_dynamic: failure rate outside [0,1)");
 
-  const NodeId n_clients = graph_.num_clients();
-  const NodeId n_servers = graph_.num_servers();
-  const std::uint32_t d = params_.base.d;
   cap_ = params_.base.capacity();
 
-  for (NodeId v = 0; v < n_clients; ++v) {
-    if (graph_.client_degree(v) == 0)
-      throw std::invalid_argument("run_dynamic: client has no admissible server");
+  // Stored graphs can contain isolated clients; implicit topologies have
+  // degree() >= 1 for every client by construction, so only the stored
+  // mode pays the O(n) audit.
+  if (graph_ != nullptr) {
+    for (NodeId v = 0; v < n_clients_; ++v) {
+      if (graph_->client_degree(v) == 0)
+        throw std::invalid_argument(
+            "run_dynamic: client has no admissible server");
+    }
   }
 
-  const std::uint64_t total_balls = static_cast<std::uint64_t>(n_clients) * d;
+  const std::uint64_t total_balls =
+      static_cast<std::uint64_t>(n_clients_) * params_.base.d;
   alive_.reserve(total_balls);
   next_alive_.reserve(total_balls);
   target_.resize(total_balls);
   activation_round_.resize(total_balls);
-  stamp_us_.resize(n_clients, 0);
+  stamp_us_.resize(n_clients_, 0);
 
-  round_recv_.assign(n_servers, 0);
-  recv_total_.assign(n_servers, 0);
-  accepted_.assign(n_servers, 0);
-  burned_.assign(n_servers, 0);
-  failed_.assign(n_servers, 0);
-  accept_flag_.assign(n_servers, 0);
+  round_recv_.assign(n_servers_, 0);
+  recv_total_.assign(n_servers_, 0);
+  accepted_.assign(n_servers_, 0);
+  burned_.assign(n_servers_, 0);
+  failed_.assign(n_servers_, 0);
+  accept_flag_.assign(n_servers_, 0);
 }
 
 NodeId DynamicEngine::num_clients() const noexcept {
-  return graph_.num_clients();
+  return n_clients_;
 }
 
 bool DynamicEngine::drained() const noexcept {
@@ -63,12 +117,11 @@ bool DynamicEngine::drained() const noexcept {
 }
 
 bool DynamicEngine::exhausted() const noexcept {
-  return drained() && next_client_ == graph_.num_clients();
+  return drained() && next_client_ == n_clients_;
 }
 
 NodeId DynamicEngine::inject(NodeId count, std::uint64_t stamp_us) {
-  const NodeId remaining =
-      graph_.num_clients() - next_client_ - pending_total_;
+  const NodeId remaining = n_clients_ - next_client_ - pending_total_;
   count = std::min(count, remaining);
   if (count == 0) return 0;
   pending_.push_back({count, stamp_us});
@@ -107,7 +160,7 @@ ThreadTeam* DynamicEngine::team(int threads) {
 }
 
 DynamicStepStats DynamicEngine::step(std::uint64_t now_us) {
-  const NodeId n_servers = graph_.num_servers();
+  const NodeId n_servers = n_servers_;
   ++round_;
   activate_pending();
 
@@ -130,19 +183,29 @@ DynamicStepStats DynamicEngine::step(std::uint64_t now_us) {
   // Phase 1 via the shared atomic-free radix scatter (same counter-based
   // draws, plain per-server adds; no touch-lists -- the dynamic loop
   // always scans all servers because churn coins touch them anyway).
+  // Stored mode hands the scatter raw CSR addresses; implicit mode
+  // regenerates rows and pipelines resolved servers through a ring (see
+  // ImplicitStepSampler).  Same draws, same targets either way.
   const std::size_t m = alive_.size();
-  scatter_count(
-      scatter_layout(m, n_servers, static_cast<std::size_t>(parallel_width())),
-      scatter_, m, round_recv_.data(), false,
-      [&](std::size_t i) {
-        const BallId b = alive_[i];
-        const auto v = static_cast<NodeId>(by_d_.quotient(b));
-        const std::uint32_t deg = graph_.client_degree(v);
-        const std::uint64_t k = rng_.bounded(b, round_, deg);
-        return graph_.client_neighbors(v).data() + k;
-      },
-      [&](std::size_t i, NodeId u) { target_[i] = u; },
-      [](std::size_t, NodeId) {});
+  const ScatterLayout layout =
+      scatter_layout(m, n_servers, static_cast<std::size_t>(parallel_width()));
+  const auto run_scatter = [&](auto&& sampler) {
+    scatter_count(layout, scatter_, m, round_recv_.data(), false, sampler,
+                  [&](std::size_t i, NodeId u) { target_[i] = u; },
+                  [](std::size_t, NodeId) {});
+  };
+  if (graph_ != nullptr) {
+    run_scatter([&](std::size_t i) {
+      const BallId b = alive_[i];
+      const auto v = static_cast<NodeId>(by_d_.quotient(b));
+      const std::uint32_t deg = graph_->client_degree(v);
+      const std::uint64_t k = rng_.bounded(b, round_, deg);
+      return graph_->client_neighbors(v).data() + k;
+    });
+  } else {
+    run_scatter(
+        ImplicitStepSampler{&*topo_, alive_.data(), &rng_, by_d_, round_});
+  }
 
   parallel_for(0, n_servers, [&](std::size_t ui) {
     const std::uint32_t rr = round_recv_[ui];
@@ -205,7 +268,7 @@ DynamicStepStats DynamicEngine::step(std::uint64_t now_us) {
 }
 
 ServiceMetrics DynamicEngine::snapshot() const {
-  const NodeId n_servers = graph_.num_servers();
+  const NodeId n_servers = n_servers_;
   ServiceMetrics out;
   out.round = round_;
   out.injected_clients = next_client_;
@@ -238,14 +301,14 @@ ServiceMetrics DynamicEngine::snapshot() const {
 }
 
 DynamicResult DynamicEngine::result(std::uint32_t reported_rounds) const {
-  const NodeId n_servers = graph_.num_servers();
+  const NodeId n_servers = n_servers_;
   DynamicResult res;
   res.total_balls =
-      static_cast<std::uint64_t>(graph_.num_clients()) * params_.base.d;
+      static_cast<std::uint64_t>(n_clients_) * params_.base.d;
   res.rounds = reported_rounds;
   res.unassigned_balls = alive_.size();
   res.completed = alive_.empty() && pending_total_ == 0 &&
-                  next_client_ == graph_.num_clients();
+                  next_client_ == n_clients_;
   res.work_messages = work_messages_;
   for (NodeId u = 0; u < n_servers; ++u) {
     res.max_load = std::max<std::uint64_t>(res.max_load, accepted_[u]);
@@ -266,11 +329,11 @@ DynamicResult DynamicEngine::result(std::uint32_t reported_rounds) const {
   return res;
 }
 
-DynamicResult run_dynamic(const BipartiteGraph& graph,
-                          const DynamicParams& params) {
-  DynamicEngine engine(graph, params);
-
-  const NodeId n_clients = graph.num_clients();
+namespace {
+/// Shared batch driver for both run_dynamic overloads: replays the fixed
+/// arrival schedule through an already-constructed engine.
+DynamicResult drive_dynamic(DynamicEngine& engine, NodeId n_clients,
+                            const DynamicParams& params) {
   const std::uint32_t arrivals =
       params.arrivals_per_round == 0 ? n_clients : params.arrivals_per_round;
   const std::uint32_t last_arrival_round =
@@ -293,6 +356,19 @@ DynamicResult run_dynamic(const BipartiteGraph& graph,
     if (engine.exhausted()) break;
   }
   return engine.result(rounds);
+}
+}  // namespace
+
+DynamicResult run_dynamic(const BipartiteGraph& graph,
+                          const DynamicParams& params) {
+  DynamicEngine engine(graph, params);
+  return drive_dynamic(engine, graph.num_clients(), params);
+}
+
+DynamicResult run_dynamic(const ImplicitRegularTopology& topology,
+                          const DynamicParams& params) {
+  DynamicEngine engine(topology, params);
+  return drive_dynamic(engine, topology.num_clients(), params);
 }
 
 }  // namespace saer

@@ -29,11 +29,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/protocol.hpp"
 #include "core/scatter.hpp"
 #include "graph/bipartite_graph.hpp"
+#include "graph/implicit_topology.hpp"
 #include "util/fastdiv.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
@@ -122,6 +124,14 @@ class DynamicEngine {
   /// outside [0,1) or a client with no admissible server.
   DynamicEngine(const BipartiteGraph& graph, const DynamicParams& params);
 
+  /// Implicit-topology service: identical protocol semantics with no edge
+  /// arrays -- each step regenerates the neighborhoods it samples from
+  /// (graph_seed, client).  The topology descriptor is copied (it is a few
+  /// words), so unlike the stored overload there is no lifetime coupling.
+  /// Step-for-step bit-identical to an engine on topology.materialize().
+  DynamicEngine(const ImplicitRegularTopology& topology,
+                const DynamicParams& params);
+
   /// Queues the next `count` clients (in id order) for activation at the
   /// start of the next step().  `stamp_us` tags the batch for wall-clock
   /// settle latency (pass the scheduled arrival time so open-loop pacing
@@ -161,13 +171,22 @@ class DynamicEngine {
     std::uint64_t stamp_us = 0;
   };
 
+  /// Shared second-stage construction: validates params, runs the stored
+  /// mode's reachability audit, and sizes every buffer from the cached
+  /// n_clients_ / n_servers_.
+  void init();
   void activate_pending();
   /// Lazily (re)built persistent intra-run team, mirroring
   /// EngineWorkspace::team -- `saer serve` steps inherit the same parallel
   /// round loops as batch runs.  Null when threads <= 1.
   [[nodiscard]] ThreadTeam* team(int threads);
 
-  const BipartiteGraph& graph_;
+  /// Exactly one of graph_ / topo_ is set: stored mode samples CSR rows,
+  /// implicit mode regenerates them (see step()'s Phase-1 dispatch).
+  const BipartiteGraph* graph_ = nullptr;
+  std::optional<ImplicitRegularTopology> topo_;
+  NodeId n_clients_ = 0;
+  NodeId n_servers_ = 0;
   DynamicParams params_;
   CounterRng rng_;
   std::uint64_t cap_ = 0;
@@ -208,6 +227,11 @@ class DynamicEngine {
 /// Runs the dynamic process.  Ball b of client v activates in round
 /// 1 + v / arrivals_per_round.  Throws on invalid parameters.
 [[nodiscard]] DynamicResult run_dynamic(const BipartiteGraph& graph,
+                                        const DynamicParams& params);
+
+/// Implicit-topology dynamic process: bit-identical DynamicResult to
+/// run_dynamic(topology.materialize(), params) with O(1) topology memory.
+[[nodiscard]] DynamicResult run_dynamic(const ImplicitRegularTopology& topology,
                                         const DynamicParams& params);
 
 }  // namespace saer

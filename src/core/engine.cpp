@@ -1,13 +1,16 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
 
 #include "core/scatter.hpp"
 #include "core/workspace.hpp"
+#include "graph/implicit_topology.hpp"
 #include "util/fastdiv.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -59,6 +62,115 @@ bool needs_wide_recv_total(const ProtocolParams& params) {
 }
 
 // ---------------------------------------------------------------------------
+// Neighborhood sources.  Every place the round loop touches topology --
+// the Phase-1 scatter samplers, the round-1 client-major sampler, and
+// deep_scan -- goes through one of these two policies:
+//
+//   StoredSource    wraps a BipartiteGraph; a client's row is its stable
+//                   CSR span, so samplers hand the scatter pipeline raw
+//                   row addresses (`base + k`).
+//   ImplicitSource  wraps an ImplicitRegularTopology; a client's row is
+//                   regenerated on demand (O(Delta) counter-RNG draws, no
+//                   edge arrays) into a per-chunk workspace buffer, and --
+//                   because scatter_count dereferences an addr_of result up
+//                   to kScatterPipeline calls later, after the buffer may
+//                   hold a different client's row -- the sampled server is
+//                   resolved immediately and parked in a pipeline-deep ring
+//                   whose slot is what the scatter dereferences.
+//
+// Both expose the same cursor shape (load a client, address draw k), so
+// run_rounds instantiates once per source and the instruction stream of
+// the stored path is unchanged.  The implicit rows are regenerated sorted
+// and equal to the materialized twin's CSR rows element for element, so
+// the engine's draw `rng.bounded(ball, round, deg)` selects the identical
+// server either way: runs are bit-identical, which the golden twin tests
+// enforce across team widths and protocols.
+// ---------------------------------------------------------------------------
+
+struct StoredSource {
+  const BipartiteGraph& graph;
+
+  [[nodiscard]] NodeId num_clients() const { return graph.num_clients(); }
+  [[nodiscard]] NodeId num_servers() const { return graph.num_servers(); }
+
+  /// Sequential sampling cursor: caches one client's CSR row.  Addresses
+  /// point into the graph's adjacency and outlive the scatter pipeline
+  /// trivially.
+  struct Cursor {
+    const BipartiteGraph* g;
+    const NodeId* base = nullptr;
+    std::uint32_t deg = 0;
+
+    void load(NodeId v, std::size_t /*pos*/) {
+      const auto nb = g->client_neighbors(v);
+      base = nb.data();
+      deg = static_cast<std::uint32_t>(nb.size());
+    }
+    [[nodiscard]] const NodeId* addr(std::size_t /*pos*/,
+                                     std::uint64_t k) const {
+      return base + k;
+    }
+  };
+  [[nodiscard]] Cursor cursor(const ScatterLayout&, EngineWorkspace&) const {
+    return Cursor{&graph};
+  }
+
+  /// deep_scan row access (invoked from parallel_reduce workers).
+  [[nodiscard]] std::span<const NodeId> scan_row(NodeId v) const {
+    return graph.client_neighbors(v);
+  }
+};
+
+struct ImplicitSource {
+  const ImplicitRegularTopology& topo;
+
+  [[nodiscard]] NodeId num_clients() const { return topo.num_clients(); }
+  [[nodiscard]] NodeId num_servers() const { return topo.num_servers(); }
+
+  /// Regenerating cursor.  scatter_count copies its sampler per chunk and
+  /// feeds each copy its chunk's positions in ascending order, so the copy
+  /// binds to its chunk's workspace row buffer on first use (ci = pos /
+  /// chunk_size) -- concurrent chunks never share a buffer, and reuse
+  /// across rounds/runs means steady-state regeneration allocates nothing.
+  struct Cursor {
+    const ImplicitRegularTopology* topo;
+    std::vector<NodeId>* rows;    ///< ws.implicit_rows.data()
+    std::size_t chunk_size;
+    std::vector<NodeId>* row = nullptr;  ///< this copy's chunk buffer
+    std::uint32_t deg = 0;
+    /// Resolved samples, kScatterPipeline deep (see core/scatter.hpp): a
+    /// slot is overwritten only after every dereference of its previous
+    /// occupant has happened.
+    std::array<NodeId, kScatterPipeline> ring;
+
+    void load(NodeId v, std::size_t pos) {
+      if (row == nullptr) row = rows + pos / chunk_size;
+      topo->neighbors(v, *row);
+      deg = topo->degree();
+    }
+    [[nodiscard]] const NodeId* addr(std::size_t pos, std::uint64_t k) {
+      NodeId& slot = ring[pos % kScatterPipeline];
+      slot = (*row)[k];
+      return &slot;
+    }
+  };
+  [[nodiscard]] Cursor cursor(const ScatterLayout& layout,
+                              EngineWorkspace& ws) const {
+    return Cursor{&topo, ws.implicit_rows.data(), layout.chunk_size};
+  }
+
+  /// deep_scan row access: regenerates into a per-thread scratch row (the
+  /// reduction lambdas are shared by-ref across team workers, so per-call
+  /// state must be thread-local).  The span is valid until the same thread
+  /// scans its next client, which is exactly the reduction body's lifetime.
+  [[nodiscard]] std::span<const NodeId> scan_row(NodeId v) const {
+    thread_local std::vector<NodeId> scratch;
+    topo.neighbors(v, scratch);
+    return {scratch.data(), scratch.size()};
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Ball -> client maps.  The uniform-demand map is implicit (ball b belongs
 // to client b / d, computed with an exact reciprocal) so the engine never
 // materializes the O(n*d) vector the seed engine allocated per run; the
@@ -75,16 +187,15 @@ struct UniformBallClient {
 
 /// Round-1 sampler for the uniform map: ball b == position i, and positions
 /// arrive in ascending order (per chunk), so the client advances every d
-/// balls with no division and one adjacency-span load per client.  Same
-/// draws, same targets -- just the cheapest way to walk an identity round.
+/// balls with no division and one cursor load per client.  Same draws,
+/// same targets -- just the cheapest way to walk an identity round.
+template <class Cursor>
 struct UniformRound1Sampler {
-  const BipartiteGraph& graph;
   const CounterRng& rng;
   std::uint32_t d;
+  Cursor cursor;
   NodeId v = 0;
   std::uint32_t used = 0;
-  const NodeId* base = nullptr;
-  std::uint32_t deg = 0;
   bool primed = false;
 
   const NodeId* operator()(std::size_t i) {
@@ -92,23 +203,20 @@ struct UniformRound1Sampler {
       primed = true;
       v = static_cast<NodeId>(i / d);
       used = static_cast<std::uint32_t>(i - static_cast<std::uint64_t>(v) * d);
-      load();
+      cursor.load(v, i);
     } else if (used == d) {
       ++v;
       used = 0;
-      load();
+      cursor.load(v, i);
     }
     ++used;
-    return base + rng.bounded(i, 1, deg);
-  }
-
- private:
-  void load() {
-    const auto nb = graph.client_neighbors(v);
-    base = nb.data();
-    deg = static_cast<std::uint32_t>(nb.size());
+    return cursor.addr(i, rng.bounded(i, 1, cursor.deg));
   }
 };
+
+template <class Cursor>
+UniformRound1Sampler(const CounterRng&, std::uint32_t, Cursor)
+    -> UniformRound1Sampler<Cursor>;
 
 struct ExplicitBallClient {
   const NodeId* map;
@@ -128,26 +236,26 @@ struct DeepMetrics {
   std::uint64_t r_max_neighborhood = 0;
 };
 
-template <class Recv>
-DeepMetrics deep_scan(const BipartiteGraph& g, const std::uint32_t* round_recv,
+template <class Source, class Recv>
+DeepMetrics deep_scan(const Source& src, const std::uint32_t* round_recv,
                       const Recv& recv, const std::uint8_t* flags,
                       std::uint64_t capacity) {
   DeepMetrics m;
   // K_t(v) normalizes the cumulative received count of N(v) by the capacity
   // mass capacity * |N(v)| (capacity = round(c*d) already folds d in).
   const double cap = static_cast<double>(capacity);
-  m.s_max = parallel_reduce_max(0, g.num_clients(), [&](std::size_t vi) {
+  m.s_max = parallel_reduce_max(0, src.num_clients(), [&](std::size_t vi) {
     const auto v = static_cast<NodeId>(vi);
-    const auto nb = g.client_neighbors(v);
+    const auto nb = src.scan_row(v);
     std::uint64_t burned_count = 0;
     for (NodeId u : nb) burned_count += (flags[u] & kServerBurned) ? 1 : 0;
     return nb.empty() ? 0.0
                       : static_cast<double>(burned_count) /
                             static_cast<double>(nb.size());
   });
-  m.k_max = parallel_reduce_max(0, g.num_clients(), [&](std::size_t vi) {
+  m.k_max = parallel_reduce_max(0, src.num_clients(), [&](std::size_t vi) {
     const auto v = static_cast<NodeId>(vi);
-    const auto nb = g.client_neighbors(v);
+    const auto nb = src.scan_row(v);
     std::uint64_t total = 0;
     for (NodeId u : nb) total += recv.get(u);
     return nb.empty() ? 0.0
@@ -155,10 +263,10 @@ DeepMetrics deep_scan(const BipartiteGraph& g, const std::uint32_t* round_recv,
                             (cap * static_cast<double>(nb.size()));
   });
   m.r_max_neighborhood =
-      parallel_reduce_max_u64(0, g.num_clients(), [&](std::size_t vi) {
+      parallel_reduce_max_u64(0, src.num_clients(), [&](std::size_t vi) {
         const auto v = static_cast<NodeId>(vi);
         std::uint64_t rnd = 0;
-        for (NodeId u : g.client_neighbors(v)) rnd += round_recv[u];
+        for (NodeId u : src.scan_row(v)) rnd += round_recv[u];
         return rnd;
       });
   return m;
@@ -184,15 +292,16 @@ constexpr std::uint64_t kIntraRunMinBalls = 1ULL << 15;
 /// per-server verdict is computed identically and all cross-server totals
 /// are exact integer folds, so results are bit-identical for either path,
 /// any layout, and any thread count.
-template <class BallClient, class Recv>
-RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
+template <class Source, class BallClient, class Recv>
+RunResult run_rounds(const Source& source, const ProtocolParams& params,
                      std::uint64_t total_balls, const BallClient& ball_client,
                      const Recv& recv, EngineWorkspace& ws) {
-  const NodeId n_servers = graph.num_servers();
+  const NodeId n_servers = source.num_servers();
   const std::uint64_t cap = params.capacity();
   const std::uint32_t max_rounds =
-      params.max_rounds ? params.max_rounds
-                        : ProtocolParams::default_max_rounds(graph.num_clients());
+      params.max_rounds
+          ? params.max_rounds
+          : ProtocolParams::default_max_rounds(source.num_clients());
 
   RunResult res;
   res.total_balls = total_balls;
@@ -247,22 +356,20 @@ RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
       for (std::size_t bl = 0; bl < layout.n_blocks; ++bl)
         ws.touched_blocks[bl].clear();
     }
-    // The adjacency span is cached across consecutive balls of the same
-    // client (uniform demand visits each client's d balls back to back),
-    // so the offset loads are paid once per client, not per ball.  Pure
-    // caching: the draws and targets are unchanged.
+    // The client's neighborhood is cached across consecutive balls of the
+    // same client (uniform demand visits each client's d balls back to
+    // back), so the cursor load is paid once per client, not per ball.
+    // Pure caching: the draws and targets are unchanged.
     const auto sample_addr =
-        [&, cached_v = kUnassigned, base = static_cast<const NodeId*>(nullptr),
-         deg = std::uint32_t{0}](std::size_t i) mutable {
+        [&, cursor = source.cursor(layout, ws),
+         cached_v = kUnassigned](std::size_t i) mutable {
           const BallId b = ball_at(i);
           const NodeId v = ball_client(b);
           if (v != cached_v) {
             cached_v = v;
-            const auto nb = graph.client_neighbors(v);
-            base = nb.data();
-            deg = static_cast<std::uint32_t>(nb.size());
+            cursor.load(v, i);
           }
-          return base + rng.bounded(b, round, deg);
+          return cursor.addr(i, rng.bounded(b, round, cursor.deg));
         };
     const auto on_target = [&](std::size_t i, NodeId u) { target[i] = u; };
     const auto on_first_touch = [&](std::size_t bl, NodeId u) {
@@ -347,7 +454,8 @@ RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
     };
     if constexpr (std::is_same_v<BallClient, UniformBallClient>) {
       if (round == 1) {
-        scatter_round(UniformRound1Sampler{graph, rng, params.d});
+        scatter_round(
+            UniformRound1Sampler{rng, params.d, source.cursor(layout, ws)});
       } else {
         scatter_round(sample_addr);
       }
@@ -371,7 +479,7 @@ RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
     stats.burned_total = burned_total;
 
     if (params.deep_trace) {
-      const DeepMetrics dm = deep_scan(graph, round_recv, recv, flags, cap);
+      const DeepMetrics dm = deep_scan(source, round_recv, recv, flags, cap);
       stats.s_max = dm.s_max;
       stats.k_max = dm.k_max;
       stats.r_max_neighborhood = dm.r_max_neighborhood;
@@ -487,12 +595,12 @@ RunResult run_rounds(const BipartiteGraph& graph, const ProtocolParams& params,
 }
 
 /// Dispatches the run on the cumulative-counter width (see Recv32/Recv64).
-template <class BallClient>
-RunResult run_dispatch(const BipartiteGraph& graph,
-                       const ProtocolParams& params, std::uint64_t total_balls,
+template <class Source, class BallClient>
+RunResult run_dispatch(const Source& source, const ProtocolParams& params,
+                       std::uint64_t total_balls,
                        const BallClient& ball_client, EngineWorkspace& ws) {
   const bool wide = needs_wide_recv_total(params);
-  ws.ensure(graph.num_servers(), total_balls, wide);
+  ws.ensure(source.num_servers(), total_balls, wide);
   // Install the workspace's persistent team for the whole run; every
   // parallel_for / reduction below dispatches to it.  Tiny runs stay
   // serial (width 1 -> no team) -- a scheduling decision only, results
@@ -501,10 +609,10 @@ RunResult run_dispatch(const BipartiteGraph& graph,
       total_balls >= kIntraRunMinBalls ? intra_run_threads() : 1;
   const TeamRegion region(ws.team(width));
   if (wide) {
-    return run_rounds(graph, params, total_balls, ball_client,
+    return run_rounds(source, params, total_balls, ball_client,
                       Recv64{ws.recv_total64.data()}, ws);
   }
-  return run_rounds(graph, params, total_balls, ball_client,
+  return run_rounds(source, params, total_balls, ball_client,
                     Recv32{ws.recv_total32.data()}, ws);
 }
 
@@ -614,13 +722,31 @@ RunResult run_protocol(const BipartiteGraph& graph, const ProtocolParams& params
   require_all_reachable(graph);
   const std::uint64_t total_balls =
       static_cast<std::uint64_t>(graph.num_clients()) * params.d;
-  return run_dispatch(graph, params, total_balls,
+  return run_dispatch(StoredSource{graph}, params, total_balls,
                       UniformBallClient(params.d), workspace);
 }
 
 RunResult run_protocol(const BipartiteGraph& graph, const ProtocolParams& params) {
   EngineWorkspace workspace;
   return run_protocol(graph, params, workspace);
+}
+
+RunResult run_protocol(const ImplicitRegularTopology& topology,
+                       const ProtocolParams& params,
+                       EngineWorkspace& workspace) {
+  params.validate();
+  // Reachability is structural: every implicit client has degree() >= 1 by
+  // construction, so the stored path's O(n) degree audit has nothing to do.
+  const std::uint64_t total_balls =
+      static_cast<std::uint64_t>(topology.num_clients()) * params.d;
+  return run_dispatch(ImplicitSource{topology}, params, total_balls,
+                      UniformBallClient(params.d), workspace);
+}
+
+RunResult run_protocol(const ImplicitRegularTopology& topology,
+                       const ProtocolParams& params) {
+  EngineWorkspace workspace;
+  return run_protocol(topology, params, workspace);
 }
 
 RunResult run_protocol_demands(const BipartiteGraph& graph,
@@ -631,7 +757,7 @@ RunResult run_protocol_demands(const BipartiteGraph& graph,
   const std::vector<NodeId> ball_client =
       demand_ball_clients(graph, params, demands);
   require_reachable(graph, ball_client);
-  return run_dispatch(graph, params, ball_client.size(),
+  return run_dispatch(StoredSource{graph}, params, ball_client.size(),
                       ExplicitBallClient{ball_client.data()}, workspace);
 }
 

@@ -63,6 +63,7 @@
 #include "core/protocol.hpp"
 #include "core/workspace.hpp"
 #include "graph/bipartite_graph.hpp"
+#include "graph/implicit_topology.hpp"
 
 namespace saer {
 
@@ -75,6 +76,21 @@ namespace saer {
 /// allocation once the workspace has grown to the largest run it has seen).
 /// The workspace must not be shared by concurrent runs.
 [[nodiscard]] RunResult run_protocol(const BipartiteGraph& graph,
+                                     const ProtocolParams& params,
+                                     EngineWorkspace& workspace);
+
+/// Implicit-topology run: identical protocol semantics with O(1) topology
+/// memory -- every neighborhood the round loop needs is regenerated from
+/// (graph_seed, client) on the fly, so no edge arrays exist.  The result is
+/// bit-identical to run_protocol(topology.materialize(), params) at every
+/// thread count (the materialized-twin equivalence contract, pinned by
+/// tests/test_golden_hash.cpp and tests/test_implicit_topology.cpp).
+/// Uniform demands only; reachability holds by construction (degree >= 1).
+[[nodiscard]] RunResult run_protocol(const ImplicitRegularTopology& topology,
+                                     const ProtocolParams& params);
+
+/// Implicit-topology run in a caller-provided workspace (see run_protocol).
+[[nodiscard]] RunResult run_protocol(const ImplicitRegularTopology& topology,
                                      const ProtocolParams& params,
                                      EngineWorkspace& workspace);
 

@@ -81,6 +81,16 @@ struct ScatterLayout {
 /// scatter_layout).
 inline constexpr std::size_t kScatterMinGrain = 1024;
 
+/// Depth of scatter_count's software-pipelined address window: an address
+/// returned by `addr_of(i)` is dereferenced only after up to
+/// kScatterPipeline further addr_of calls have run (the prefetch sweeps
+/// below).  Samplers that point into stable storage (CSR rows) need not
+/// care; samplers that synthesize values -- the implicit-topology cursors
+/// in core/engine.cpp and core/dynamic.cpp -- must keep at least this many
+/// results alive, which they do with a kScatterPipeline-deep ring of
+/// resolved server ids indexed by position modulo the depth.
+inline constexpr std::size_t kScatterPipeline = 192;
+
 /// Picks the round's layout for a round loop running on `threads` workers
 /// (callers pass their executor's width -- the engine its team size, tests
 /// whatever shape they probe): one chunk per worker once there are enough
@@ -153,15 +163,15 @@ struct ScatterScratch {
 ///
 /// The adjacency lookup is a data-dependent random access into O(E) memory
 /// and dominates pass A, so addresses are computed and prefetched a block
-/// of 192 balls ahead of the consuming sweep -- identical draws, identical
-/// counts, only the memory schedule changes.
+/// of kScatterPipeline balls ahead of the consuming sweep -- identical
+/// draws, identical counts, only the memory schedule changes.
 template <class AddrOf, class OnTarget, class FirstTouch, class BlockDone>
 void scatter_count(const ScatterLayout& layout, ScatterScratch& scratch,
                    std::size_t m, std::uint32_t* counts,
                    bool record_first_touch, AddrOf&& addr_of,
                    OnTarget&& on_target, FirstTouch&& first_touch,
                    BlockDone&& block_done) {
-  constexpr std::size_t kBlock = 192;
+  constexpr std::size_t kBlock = kScatterPipeline;
   if (layout.n_chunks == 1) {
     // Three-sweep pipeline per 192-ball block: sweep 1 computes and
     // prefetches the adjacency addresses, sweep 2 resolves the targets and

@@ -119,6 +119,10 @@ std::uint64_t grid_fingerprint(const std::vector<SweepPoint>& grid) {
     h = mix64(h, config.master_seed);
     h = mix64(h, config.resample_graph ? 1 : 0);
     h = mix64(h, point.topology_key);
+    // Like runners, implicit factories are closures the fingerprint cannot
+    // see into; fold the mode bit so a stored checkpoint is rejected by an
+    // implicit rerun of the same grid (and vice versa).
+    h = mix64(h, point.implicit_factory ? 1 : 0);
     // params.seed is excluded: the scheduler overrides it per replication.
     // params.store_assignment is excluded too: it changes only whether the
     // engine materializes the assignment vector, never a streamed byte, so
@@ -514,6 +518,15 @@ SweepScheduler::SweepScheduler(SweepOptions options)
 SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
   const auto start = std::chrono::steady_clock::now();
 
+  for (const SweepPoint& point : grid) {
+    if (point.implicit_factory && point.runner) {
+      throw std::invalid_argument(
+          "sweep: point '" + point.label +
+          "' sets both implicit_factory and runner (a PointRunner consumes "
+          "a materialized graph, which an implicit point never builds)");
+    }
+  }
+
   // Global run ranks: point p, replication r -> offsets[p] + r.
   std::vector<std::size_t> offsets(grid.size() + 1, 0);
   for (std::size_t p = 0; p < grid.size(); ++p) {
@@ -608,6 +621,9 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
         continue;  // nothing pending here
       }
       if (point.config.resample_graph) continue;
+      // Implicit points never materialize: their tasks rebuild the
+      // descriptor (a few words) per replication from the same seed.
+      if (point.implicit_factory) continue;
       const std::uint64_t seed = replication_seed(point.config.master_seed, 1);
       if (point.topology_key != 0) {
         const auto [it, inserted] =
@@ -659,27 +675,44 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
         const std::uint64_t graph_seed =
             replication_seed(point.config.master_seed, 2ULL * rep + 1);
 
-        std::optional<BipartiteGraph> fresh;
-        if (!shared) fresh = point.factory(graph_seed);
-        const BipartiteGraph& graph = shared ? *shared : *fresh;
-
         ProtocolParams params = point.config.params;
         params.seed = protocol_seed;
         RunResult res;
-        if (point.runner) {
-          res = point.runner(graph, params, rep);
-        } else {
+        std::uint64_t num_servers = 0;
+        if (point.implicit_factory) {
+          // Same topology-seed policy as the stored path: per-replication
+          // seed when resampling, the shared-build seed otherwise.  The
+          // recorded graph_seed stays the replication's derived seed either
+          // way, exactly as for stored points.
+          const std::uint64_t topo_seed =
+              point.config.resample_graph
+                  ? graph_seed
+                  : replication_seed(point.config.master_seed, 1);
+          const ImplicitRegularTopology topo =
+              point.implicit_factory(topo_seed);
+          num_servers = topo.num_servers();
           const WorkspaceLease lease(workspaces);
-          res = run_protocol(graph, params, *lease);
+          res = run_protocol(topo, params, *lease);
+        } else {
+          std::optional<BipartiteGraph> fresh;
+          if (!shared) fresh = point.factory(graph_seed);
+          const BipartiteGraph& graph = shared ? *shared : *fresh;
+          num_servers = graph.num_servers();
+          if (point.runner) {
+            res = point.runner(graph, params, rep);
+          } else {
+            const WorkspaceLease lease(workspaces);
+            res = run_protocol(graph, params, *lease);
+          }
         }
 
         slot.point = static_cast<std::uint32_t>(p);
         slot.replication = rep;
         slot.protocol_seed = protocol_seed;
         slot.graph_seed = graph_seed;
-        slot.num_servers = graph.num_servers();
+        slot.num_servers = num_servers;
         slot.burned_fraction = static_cast<double>(res.burned_servers) /
-                               static_cast<double>(graph.num_servers());
+                               static_cast<double>(num_servers);
         const double nd = static_cast<double>(res.total_balls);
         const auto heavy_threshold =
             static_cast<std::uint64_t>(nd / std::max(1.0, std::log(nd)));

@@ -60,6 +60,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/implicit_topology.hpp"
 #include "sim/experiment.hpp"
 #include "sim/run_record.hpp"
 
@@ -78,6 +79,11 @@ using PointRunner = std::function<RunResult(
     const BipartiteGraph& graph, const ProtocolParams& params,
     std::uint32_t replication)>;
 
+/// Implicit-topology point factory: maps a derived graph seed to the
+/// topology descriptor (a few words -- no edges are ever built).
+using ImplicitFactory =
+    std::function<ImplicitRegularTopology(std::uint64_t seed)>;
+
 /// One grid point: a topology factory plus a full experiment config.
 struct SweepPoint {
   std::string label;     ///< free-form tag echoed into records ("n=4096")
@@ -91,6 +97,19 @@ struct SweepPoint {
   /// Closures are invisible to grid_fingerprint -- points with distinct
   /// runners must carry distinct labels for checkpoint safety.
   PointRunner runner;
+  /// Implicit-topology executor: when set, the point never materializes a
+  /// graph -- each replication constructs the descriptor from the SAME
+  /// derived seed the stored path would use (replication_seed(master,
+  /// 2i+1), or replication_seed(master, 1) with resample_graph = false)
+  /// and runs the engine's implicit overload.  Because the engine's
+  /// implicit runs are bit-identical to runs on the materialized twin,
+  /// a grid with implicit points streams byte-identical CSV/JSONL rows to
+  /// the same grid built with `factory` = materialize(seed).  Mutually
+  /// exclusive with `runner`; `factory` is ignored when set.  Like
+  /// runners, closures are invisible to grid_fingerprint -- only the
+  /// presence bit is folded -- so pair distinct factories with distinct
+  /// labels for checkpoint safety.
+  ImplicitFactory implicit_factory;
 };
 
 /// Stable hash for building topology keys from generator name + parameters.

@@ -200,6 +200,66 @@ TEST(GoldenHash, SparseDenseThresholdBoundary) {
             0xdb5641dc62b94bb8ULL);
 }
 
+TEST(GoldenHash, ImplicitMatchesMaterializedTwinAcrossWidths) {
+  // Materialized-twin equivalence pin for the implicit-topology engine
+  // path: the twin's hash is computed at runtime (the twin goes through
+  // run_protocol's stored path, itself pinned by the goldens above), and
+  // the implicit run must reproduce it at every team width, both
+  // protocols, with and without the assignment vector.  2^17 clients x
+  // d=2 = 2^18 balls clears kIntraRunMinBalls, so widths > 1 exercise the
+  // chunked scatter with per-chunk regeneration cursors and the
+  // kScatterPipeline ring.
+  const ImplicitRegularTopology topo(1u << 17, 16, 2025);
+  const BipartiteGraph twin = topo.materialize();
+  ProtocolParams saer;
+  saer.d = 2;
+  saer.c = 2.0;
+  saer.seed = 555;
+  ProtocolParams raes;
+  raes.protocol = Protocol::kRaes;
+  raes.d = 2;
+  raes.c = 1.5;
+  raes.seed = 556;
+  EngineWorkspace ws;
+  for (ProtocolParams* p : {&saer, &raes}) {
+    for (const bool store : {true, false}) {
+      p->store_assignment = store;
+      const std::uint64_t twin_hash = hash_result(run_protocol(twin, *p));
+      for (const int threads : {1, 2, 4, 8}) {
+        set_thread_count(threads);
+        EXPECT_EQ(hash_result(run_protocol(topo, *p, ws)), twin_hash)
+            << "protocol=" << to_string(p->protocol) << " store=" << store
+            << " threads=" << threads;
+      }
+      set_thread_count(0);
+    }
+  }
+}
+
+TEST(GoldenHash, DemandsPathAcrossTeamWidths) {
+  // The heterogeneous-demands executor (ExplicitBallClient + generic
+  // sampler) lacked a width sweep: 2^15 clients with demands summing past
+  // kIntraRunMinBalls put every width > 1 on the team path.  Width 1 is
+  // the reference; the wider runs must be bit-identical to it.
+  const BipartiteGraph g = random_regular(1u << 15, 12, 7);
+  ProtocolParams p;
+  p.d = 4;
+  p.c = 2.0;
+  p.seed = 4242;
+  std::vector<std::uint32_t> demands(g.num_clients());
+  for (NodeId v = 0; v < g.num_clients(); ++v) demands[v] = v % 5;
+  set_thread_count(1);
+  const std::uint64_t reference =
+      hash_result(run_protocol_demands(g, p, demands));
+  EngineWorkspace ws;
+  for (const int threads : {2, 4, 8}) {
+    set_thread_count(threads);
+    EXPECT_EQ(hash_result(run_protocol_demands(g, p, demands, ws)), reference)
+        << "threads=" << threads;
+  }
+  set_thread_count(0);
+}
+
 TEST(GoldenHash, NoAssignmentModeSameObservables) {
   // store_assignment = false must change exactly one thing: assignment is
   // left empty.  Hash both runs with the assignment section excluded and

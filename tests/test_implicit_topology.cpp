@@ -1,0 +1,299 @@
+// Materialized-twin equivalence suite for the implicit topology family
+// (graph/implicit_topology.hpp).  The implicit engine path is only correct
+// if regeneration is (a) deterministic, (b) exactly the distribution the
+// materialized twin stores, and (c) invisible to every engine observable.
+// These tests pin all three:
+//
+//   * ~200 randomized (n, delta, seed) cases: repeated regeneration is
+//     bit-stable, rows are sorted/unique/degree-exact, and each row equals
+//     the materialize() twin's CSR row element for element;
+//   * boundary shapes n=1, delta=1, delta=n;
+//   * full engine runs (both protocols, deep trace, store_assignment on
+//     and off, reused workspaces, every team width) are bit-identical
+//     between the implicit topology and its materialized twin;
+//   * the dynamic engine's implicit mode matches its stored twin
+//     step for step.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/dynamic.hpp"
+#include "core/engine.hpp"
+#include "graph/implicit_topology.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace saer {
+namespace {
+
+std::vector<NodeId> row_of(const ImplicitRegularTopology& topo, NodeId v) {
+  std::vector<NodeId> out;
+  topo.neighbors(v, out);
+  return out;
+}
+
+TEST(ImplicitTopology, RandomizedCasesMatchMaterializedTwin) {
+  // 200 independent (n, delta, seed) triples.  Shapes are drawn from the
+  // counter RNG so the sweep is reproducible yet covers delta = 1, delta =
+  // n, and everything between.
+  const CounterRng shapes(0xfeed5eedULL);
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    const auto n =
+        static_cast<NodeId>(1 + shapes.bounded(t, 0, 64));  // n in [1, 64]
+    const auto delta =
+        static_cast<std::uint32_t>(1 + shapes.bounded(t, 1, n));
+    const std::uint64_t seed = shapes.at(t, 2);
+    const ImplicitRegularTopology topo(n, delta, seed);
+    ASSERT_EQ(topo.num_clients(), n);
+    ASSERT_EQ(topo.num_servers(), n);
+    ASSERT_EQ(topo.degree(), delta);
+
+    const BipartiteGraph twin = topo.materialize();
+    ASSERT_EQ(twin.num_clients(), n);
+    ASSERT_EQ(twin.num_servers(), n);
+
+    // An independently constructed descriptor must regenerate identically:
+    // rows are a pure function of (seed, v), not of instance history.
+    const ImplicitRegularTopology again(n, delta, seed);
+    std::vector<NodeId> row;
+    for (NodeId v = 0; v < n; ++v) {
+      topo.neighbors(v, row);
+      ASSERT_EQ(row.size(), delta) << "n=" << n << " delta=" << delta
+                                   << " seed=" << seed << " v=" << v;
+      for (std::size_t i = 1; i < row.size(); ++i) {
+        ASSERT_LT(row[i - 1], row[i]) << "row not sorted-unique";
+      }
+      for (const NodeId u : row) ASSERT_LT(u, n);
+      // Twin CSR row: element-for-element equal.
+      const auto nb = twin.client_neighbors(v);
+      ASSERT_EQ(row.size(), nb.size());
+      ASSERT_TRUE(std::equal(row.begin(), row.end(), nb.begin()));
+      // Regeneration is bit-stable across calls and instances.
+      ASSERT_EQ(row, row_of(topo, v));
+      ASSERT_EQ(row, row_of(again, v));
+    }
+  }
+}
+
+TEST(ImplicitTopology, BoundaryShapes) {
+  {
+    const ImplicitRegularTopology one(1, 1, 7);
+    EXPECT_EQ(row_of(one, 0), std::vector<NodeId>{0});
+    const BipartiteGraph twin = one.materialize();
+    EXPECT_EQ(twin.num_edges(), 1u);
+  }
+  {
+    // delta = 1: every client has exactly one uniformly drawn server.
+    const ImplicitRegularTopology thin(1024, 1, 99);
+    for (NodeId v = 0; v < 1024; v += 37) {
+      const auto row = row_of(thin, v);
+      ASSERT_EQ(row.size(), 1u);
+      ASSERT_LT(row[0], 1024u);
+    }
+  }
+  {
+    // delta = n: the row is forced to be the full server set.
+    const ImplicitRegularTopology full(64, 64, 3);
+    for (NodeId v = 0; v < 64; ++v) {
+      const auto row = row_of(full, v);
+      ASSERT_EQ(row.size(), 64u);
+      for (NodeId u = 0; u < 64; ++u) ASSERT_EQ(row[u], u);
+    }
+  }
+}
+
+TEST(ImplicitTopology, RejectsInvalidShapes) {
+  EXPECT_THROW(ImplicitRegularTopology(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(ImplicitRegularTopology(8, 0, 1), std::invalid_argument);
+  EXPECT_THROW(ImplicitRegularTopology(8, 9, 1), std::invalid_argument);
+}
+
+TEST(ImplicitTopology, SeedsAreIndependent) {
+  // Different graph seeds must give different topologies (overwhelmingly);
+  // same seed always gives the same one.
+  const ImplicitRegularTopology a(256, 8, 1);
+  const ImplicitRegularTopology b(256, 8, 2);
+  bool any_diff = false;
+  for (NodeId v = 0; v < 256 && !any_diff; ++v) {
+    any_diff = row_of(a, v) != row_of(b, v);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// ---------------------------------------------------------------------------
+// Engine equivalence: run_protocol(topo, ...) vs run_protocol(twin, ...).
+// RunResult has no operator==; compare every field explicitly.
+// ---------------------------------------------------------------------------
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const char* what) {
+  EXPECT_EQ(a.completed, b.completed) << what;
+  EXPECT_EQ(a.rounds, b.rounds) << what;
+  EXPECT_EQ(a.total_balls, b.total_balls) << what;
+  EXPECT_EQ(a.alive_balls, b.alive_balls) << what;
+  EXPECT_EQ(a.work_messages, b.work_messages) << what;
+  EXPECT_EQ(a.max_load, b.max_load) << what;
+  EXPECT_EQ(a.burned_servers, b.burned_servers) << what;
+  EXPECT_EQ(a.assignment, b.assignment) << what;
+  EXPECT_EQ(a.loads, b.loads) << what;
+  ASSERT_EQ(a.trace.size(), b.trace.size()) << what;
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    const RoundStats& x = a.trace[i];
+    const RoundStats& y = b.trace[i];
+    EXPECT_EQ(x.round, y.round) << what;
+    EXPECT_EQ(x.alive_begin, y.alive_begin) << what;
+    EXPECT_EQ(x.submitted, y.submitted) << what;
+    EXPECT_EQ(x.accepted, y.accepted) << what;
+    EXPECT_EQ(x.newly_burned, y.newly_burned) << what;
+    EXPECT_EQ(x.burned_total, y.burned_total) << what;
+    EXPECT_EQ(x.saturated, y.saturated) << what;
+    EXPECT_EQ(x.r_max_server, y.r_max_server) << what;
+    // Deep doubles must be bit-identical, not just close.
+    EXPECT_EQ(std::memcmp(&x.s_max, &y.s_max, sizeof(double)), 0) << what;
+    EXPECT_EQ(std::memcmp(&x.k_max, &y.k_max, sizeof(double)), 0) << what;
+    EXPECT_EQ(x.r_max_neighborhood, y.r_max_neighborhood) << what;
+  }
+}
+
+TEST(ImplicitEngine, MatchesTwinBothProtocols) {
+  const ImplicitRegularTopology topo(4096, 12, 2026);
+  const BipartiteGraph twin = topo.materialize();
+  for (const Protocol proto : {Protocol::kSaer, Protocol::kRaes}) {
+    ProtocolParams p;
+    p.protocol = proto;
+    p.d = 2;
+    p.c = proto == Protocol::kSaer ? 2.0 : 1.5;
+    p.seed = 11;
+    expect_identical(run_protocol(topo, p), run_protocol(twin, p),
+                     to_string(proto).c_str());
+    // Audit the implicit run's assignment against the twin's adjacency:
+    // every ball must have landed inside its client's neighborhood.
+    check_result(twin, p, run_protocol(topo, p));
+  }
+}
+
+TEST(ImplicitEngine, MatchesTwinWithDeepTrace) {
+  // deep_trace drives the templated deep_scan through ImplicitSource's
+  // thread_local regeneration path (and forces the Recv64 policy).
+  const ImplicitRegularTopology topo(2048, 8, 31);
+  const BipartiteGraph twin = topo.materialize();
+  ProtocolParams p;
+  p.d = 2;
+  p.c = 1.2;  // low c: burning makes s_max/k_max non-trivial
+  p.seed = 5;
+  p.deep_trace = true;
+  expect_identical(run_protocol(topo, p), run_protocol(twin, p), "deep");
+}
+
+TEST(ImplicitEngine, MatchesTwinWithoutAssignment) {
+  const ImplicitRegularTopology topo(4096, 12, 2026);
+  const BipartiteGraph twin = topo.materialize();
+  ProtocolParams p;
+  p.d = 2;
+  p.c = 2.0;
+  p.seed = 11;
+  p.store_assignment = false;
+  const RunResult imp = run_protocol(topo, p);
+  EXPECT_TRUE(imp.assignment.empty());
+  expect_identical(imp, run_protocol(twin, p), "no-assignment");
+}
+
+TEST(ImplicitEngine, WorkspaceReuseAcrossModesAndSizes) {
+  // One workspace serving an interleaving of implicit and stored runs of
+  // different shapes must leave every run bit-identical to a fresh-
+  // workspace run -- the pristine invariant extends to implicit_rows.
+  EngineWorkspace ws;
+  const ImplicitRegularTopology big(4096, 12, 2026);
+  const ImplicitRegularTopology small(512, 6, 7);
+  const BipartiteGraph big_twin = big.materialize();
+  ProtocolParams p;
+  p.d = 2;
+  p.c = 2.0;
+  p.seed = 11;
+  const RunResult fresh_big = run_protocol(big, p);
+  const RunResult fresh_small = run_protocol(small, p);
+  expect_identical(run_protocol(big, p, ws), fresh_big, "big#1");
+  expect_identical(run_protocol(small, p, ws), fresh_small, "small");
+  expect_identical(run_protocol(big_twin, p, ws), fresh_big, "stored");
+  expect_identical(run_protocol(big, p, ws), fresh_big, "big#2");
+}
+
+TEST(ImplicitEngine, MatchesTwinAcrossTeamWidths) {
+  // 2^15 clients x d=2 clears kIntraRunMinBalls, so widths > 1 exercise
+  // the chunked scatter with per-chunk implicit cursors and the ring.
+  const ImplicitRegularTopology topo(1u << 15, 10, 404);
+  const BipartiteGraph twin = topo.materialize();
+  ProtocolParams p;
+  p.d = 2;
+  p.c = 2.0;
+  p.seed = 99;
+  const RunResult reference = run_protocol(twin, p);
+  EngineWorkspace ws;
+  for (const int threads : {1, 2, 4, 8}) {
+    set_thread_count(threads);
+    expect_identical(run_protocol(topo, p, ws), reference, "width");
+  }
+  set_thread_count(0);
+}
+
+TEST(ImplicitDynamic, MatchesTwinRunDynamic) {
+  const ImplicitRegularTopology topo(2048, 8, 55);
+  const BipartiteGraph twin = topo.materialize();
+  DynamicParams p;
+  p.base.d = 2;
+  p.base.c = 2.0;
+  p.base.seed = 17;
+  p.arrivals_per_round = 128;
+  p.server_failure_rate = 0.001;
+  const DynamicResult a = run_dynamic(topo, p);
+  const DynamicResult b = run_dynamic(twin, p);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_balls, b.total_balls);
+  EXPECT_EQ(a.unassigned_balls, b.unassigned_balls);
+  EXPECT_EQ(a.max_load, b.max_load);
+  EXPECT_EQ(a.burned_servers, b.burned_servers);
+  EXPECT_EQ(a.failed_servers, b.failed_servers);
+  EXPECT_EQ(a.work_messages, b.work_messages);
+  EXPECT_EQ(a.latency_p50, b.latency_p50);
+  EXPECT_EQ(a.latency_p99, b.latency_p99);
+  EXPECT_EQ(a.latency_max, b.latency_max);
+  EXPECT_EQ(a.max_load_series, b.max_load_series);
+  EXPECT_EQ(a.backlog_series, b.backlog_series);
+}
+
+TEST(ImplicitDynamic, StepForStepAgainstTwinEngine) {
+  const ImplicitRegularTopology topo(1024, 6, 77);
+  const BipartiteGraph twin = topo.materialize();
+  DynamicParams p;
+  p.base.d = 2;
+  p.base.c = 2.0;
+  p.base.seed = 3;
+  DynamicEngine imp(topo, p);
+  DynamicEngine ref(twin, p);
+  EXPECT_EQ(imp.num_clients(), ref.num_clients());
+  for (int burst = 0; burst < 4; ++burst) {
+    imp.inject(200);
+    ref.inject(200);
+    for (int s = 0; s < 3; ++s) {
+      const DynamicStepStats a = imp.step();
+      const DynamicStepStats b = ref.step();
+      EXPECT_EQ(a.round, b.round);
+      EXPECT_EQ(a.activated_balls, b.activated_balls);
+      EXPECT_EQ(a.settled_balls, b.settled_balls);
+      EXPECT_EQ(a.backlog, b.backlog);
+      EXPECT_EQ(a.max_load, b.max_load);
+    }
+  }
+  const ServiceMetrics ma = imp.snapshot();
+  const ServiceMetrics mb = ref.snapshot();
+  EXPECT_EQ(ma.assigned_balls, mb.assigned_balls);
+  EXPECT_EQ(ma.backlog, mb.backlog);
+  EXPECT_EQ(ma.max_load, mb.max_load);
+  EXPECT_EQ(ma.burned_servers, mb.burned_servers);
+}
+
+}  // namespace
+}  // namespace saer

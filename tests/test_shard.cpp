@@ -374,6 +374,53 @@ TEST_F(ShardTest, CliShardedSweepAggregatesToSingleProcessBytes) {
   EXPECT_EQ(read_file(agg_of("ref.csv")), read_file(agg_of("sharded.csv")));
 }
 
+TEST_F(ShardTest, ImplicitShardsAggregateToMaterializedTwinBytes) {
+  // Sweep/shard parity for the implicit-topology path: the reference is
+  // the SAME distribution run through the stored engine (the
+  // "implicit-regular-stored" twin, one unsharded process), and three
+  // implicit shards -- which never materialize a graph -- must fold back
+  // to byte-identical aggregate CSV.  Point labels carry no topology name,
+  // so even the per-run streams are comparable: the unsharded implicit
+  // JSONL must equal the twin's byte for byte.
+  const auto path_of = [&](const std::string& name) {
+    return (dir_ / name).string();
+  };
+  const std::vector<std::string> base = {
+      "--sizes",    "256",   "--ds",   "2", "--cs",   "2",
+      "--delta",    "8",     "--reps", "4", "--seed", "9",
+      "--protocol", "both",  "--jobs", "2", "--quiet"};
+
+  auto twin_args = base;
+  twin_args.insert(twin_args.end(),
+                   {"--topology", "implicit-regular-stored", "--agg-csv",
+                    path_of("twin.csv"), "--jsonl", path_of("twin.jsonl")});
+  ASSERT_EQ(cli::cmd_sweep(CliArgs(twin_args)), 0);
+
+  auto implicit_args = base;
+  implicit_args.insert(implicit_args.end(),
+                       {"--topology", "implicit-regular", "--agg-csv",
+                        path_of("imp.csv"), "--jsonl", path_of("imp.jsonl")});
+  ASSERT_EQ(cli::cmd_sweep(CliArgs(implicit_args)), 0);
+  EXPECT_EQ(read_file(path_of("imp.jsonl")), read_file(path_of("twin.jsonl")));
+  EXPECT_EQ(read_file(path_of("imp.csv")), read_file(path_of("twin.csv")));
+
+  std::vector<std::string> agg_args = {"--quiet", "--csv",
+                                       path_of("imp-sharded.csv")};
+  for (int i = 0; i < 3; ++i) {
+    const std::string jsonl = path_of("imp-" + std::to_string(i) + ".jsonl");
+    auto shard_args = base;
+    shard_args.insert(shard_args.end(),
+                      {"--topology", "implicit-regular", "--shard",
+                       std::to_string(i) + "/3", "--jsonl", jsonl});
+    ASSERT_EQ(cli::cmd_sweep(CliArgs(shard_args)), 0) << i;
+    agg_args.push_back(jsonl);
+  }
+  ASSERT_EQ(cli::cmd_aggregate(CliArgs(agg_args)), 0);
+  EXPECT_FALSE(read_file(path_of("twin.csv")).empty());
+  EXPECT_EQ(read_file(path_of("imp-sharded.csv")),
+            read_file(path_of("twin.csv")));
+}
+
 TEST(ShardCli, AggCsvWithShardIsRejected) {
   // A shard's --agg-csv would silently carry partial means in the
   // canonical full-grid schema; the CLI points at `saer aggregate`.

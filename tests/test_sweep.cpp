@@ -249,6 +249,56 @@ TEST(Sweep, KeepTracesControlsRecordTraces) {
   }
 }
 
+TEST(Sweep, ImplicitPointsMatchMaterializedRunsAndShareGraphSeeds) {
+  // Implicit-factory points must stream the same runs the stored engine
+  // produces from the same seed policy -- resampling per replication and
+  // shared-graph mode alike.
+  for (const bool resample : {true, false}) {
+    std::vector<SweepPoint> grid(2);
+    grid[0].label = "p";
+    grid[0].implicit_factory = [](std::uint64_t seed) {
+      return ImplicitRegularTopology(256, 8, seed);
+    };
+    grid[1] = grid[0];
+    grid[1].implicit_factory = nullptr;
+    grid[1].factory = [](std::uint64_t seed) {
+      return ImplicitRegularTopology(256, 8, seed).materialize();
+    };
+    for (SweepPoint& point : grid) {
+      point.config.params.d = 2;
+      point.config.params.c = 2.0;
+      point.config.replications = 4;
+      point.config.master_seed = 21;
+      point.config.resample_graph = resample;
+    }
+    const SweepResult res = SweepScheduler(SweepOptions{}).run(grid);
+    for (std::uint32_t rep = 0; rep < 4; ++rep) {
+      const SweepRun& imp = res.runs[rep];
+      const SweepRun& twin = res.runs[4 + rep];
+      EXPECT_EQ(imp.protocol_seed, twin.protocol_seed);
+      EXPECT_EQ(imp.graph_seed, twin.graph_seed);
+      EXPECT_EQ(imp.num_servers, twin.num_servers);
+      EXPECT_EQ(imp.burned_fraction, twin.burned_fraction);
+      EXPECT_EQ(imp.record.rounds, twin.record.rounds);
+      EXPECT_EQ(imp.record.max_load, twin.record.max_load);
+      EXPECT_EQ(imp.record.work_messages, twin.record.work_messages);
+    }
+  }
+}
+
+TEST(Sweep, ImplicitFactoryWithRunnerIsRejected) {
+  std::vector<SweepPoint> grid(1);
+  grid[0].label = "conflicted";
+  grid[0].implicit_factory = [](std::uint64_t seed) {
+    return ImplicitRegularTopology(64, 4, seed);
+  };
+  grid[0].runner = [](const BipartiteGraph&, const ProtocolParams&,
+                      std::uint32_t) { return RunResult{}; };
+  grid[0].config.replications = 1;
+  EXPECT_THROW((void)SweepScheduler(SweepOptions{}).run(grid),
+               std::invalid_argument);
+}
+
 TEST(Sweep, TaskExceptionPropagates) {
   SweepPoint point;
   point.factory = [](std::uint64_t) -> BipartiteGraph {
