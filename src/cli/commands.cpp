@@ -1,6 +1,7 @@
 #include "cli/commands.hpp"
 
 #include <algorithm>
+#include <atomic>  // saer-lint: allow(no-atomic) -- SIGTERM stop flag only; see g_serve_stop
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -386,10 +387,17 @@ int cmd_aggregate(const CliArgs& args) {
 namespace {
 
 /// Set by SIGINT/SIGTERM: the serve loop stops injecting, drains, writes
-/// the final report, and exits 0 (graceful shutdown contract).
-volatile std::sig_atomic_t g_serve_stop = 0;
+/// the final report, and exits 0 (graceful shutdown contract).  Atomic,
+/// not sig_atomic_t: the signal may be delivered on (or raised from) a
+/// different thread than the serve loop, which is a data race on a plain
+/// global (caught by TSan).  A lock-free atomic store is async-signal-
+/// safe; the flag gates shutdown only and never touches a result path.
+// saer-lint: allow(no-atomic) -- cross-thread signal flag; results are unaffected by when it is observed
+std::atomic<int> g_serve_stop{0};
 
-void serve_stop_handler(int) { g_serve_stop = 1; }
+void serve_stop_handler(int) {
+  g_serve_stop.store(1, std::memory_order_relaxed);
+}
 
 /// Percentile of a histogram that may still be empty (no settled balls in
 /// the first report intervals of a heavily loaded start).
@@ -522,7 +530,7 @@ int cmd_serve(const CliArgs& args) {
   }
 
   DynamicEngine engine(g, dparams);
-  g_serve_stop = 0;
+  g_serve_stop.store(0, std::memory_order_relaxed);
   std::signal(SIGINT, serve_stop_handler);
   std::signal(SIGTERM, serve_stop_handler);
 
@@ -564,7 +572,7 @@ int cmd_serve(const CliArgs& args) {
   std::uint64_t r = 0;
   bool interrupted = false;
   while (r < inject_rounds) {
-    if (g_serve_stop) {
+    if (g_serve_stop.load(std::memory_order_relaxed)) {
       interrupted = true;
       break;
     }

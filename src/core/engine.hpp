@@ -59,6 +59,21 @@
 // Golden-hash tests (tests/test_golden_hash.cpp) pin this contract against
 // hashes recorded before the radix rewrite, across thread counts and both
 // protocols.
+//
+// Parts of the contract are machine-checked at the source level by
+// saer-lint (tools/lint/, run as the `lint.tree` ctest and a hard-failing
+// CI job):
+//
+//  * banned-rng / banned-clock -- no rand()/std::random_device/time()/
+//    std::chrono::*::now() outside the allowlisted pacing modules; every
+//    random draw goes through util/rng's counter RNG;
+//  * no-atomic -- src/ stays atomic-free (the scatter above needs none;
+//    the only allowlisted users are util/log.cpp and util/parallel.cpp,
+//    which never sit on a result path);
+//  * unordered-iter -- unordered-container iteration order never reaches
+//    an emit/result path;
+//  * jsonl-key-order -- the sim/run_record.cpp emitters, their strict
+//    parsers, and the README example rows agree key-for-key.
 
 #include "core/protocol.hpp"
 #include "core/workspace.hpp"

@@ -25,12 +25,14 @@ void shuffle_ids(std::vector<NodeId>& perm, Xoshiro256ss& rng) {
 /// Sample `k` distinct values from [0, n) (Floyd's algorithm), sorted.
 std::vector<NodeId> sample_distinct(NodeId n, std::uint32_t k, Xoshiro256ss& rng) {
   if (k > n) throw std::invalid_argument("sample_distinct: k > n");
+  // saer-lint: allow(unordered-iter) -- membership-only; emitted sorted below
   std::unordered_set<NodeId> chosen;
   chosen.reserve(k * 2);
   for (NodeId j = n - k; j < n; ++j) {
     const auto t = static_cast<NodeId>(rng.bounded(static_cast<std::uint64_t>(j) + 1));
     if (!chosen.insert(t).second) chosen.insert(j);
   }
+  // saer-lint: allow(unordered-iter) -- order normalized by the sort below
   std::vector<NodeId> out(chosen.begin(), chosen.end());
   std::sort(out.begin(), out.end());
   return out;

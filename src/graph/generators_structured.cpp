@@ -19,13 +19,22 @@ void sample_distinct_in_range(NodeId group_begin, NodeId group_size,
                               std::vector<Edge>& out) {
   if (k > group_size)
     throw std::invalid_argument("sample_distinct_in_range: k > group size");
+  // saer-lint: allow(unordered-iter) -- membership-only; emitted sorted below
   std::unordered_set<NodeId> chosen;
   chosen.reserve(k * 2);
   for (NodeId j = group_size - k; j < group_size; ++j) {
     const auto t = static_cast<NodeId>(rng.bounded(static_cast<std::uint64_t>(j) + 1));
     if (!chosen.insert(t).second) chosen.insert(j);
   }
-  for (NodeId local : chosen) out.push_back({client, group_begin + local});
+  // Emit in sorted id order: the set's bucket order is standard-library
+  // specific, and the edge order decides each client's adjacency row --
+  // letting it leak would tie the graphs (and every downstream result)
+  // to one libstdc++ version.  sample_distinct in generators_random.cpp
+  // sorts for the same reason.
+  // saer-lint: allow(unordered-iter) -- order normalized by the sort below
+  std::vector<NodeId> sorted(chosen.begin(), chosen.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId local : sorted) out.push_back({client, group_begin + local});
 }
 
 }  // namespace

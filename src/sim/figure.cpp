@@ -6,8 +6,9 @@
 
 namespace saer {
 
-FigureWriter::FigureWriter(std::string title, std::vector<std::string> columns,
-                           std::string csv_path)
+FigureWriter::FigureWriter(std::string title,
+                           const std::vector<std::string>& columns,
+                           const std::string& csv_path)
     : title_(std::move(title)), table_(columns) {
   if (!csv_path.empty()) {
     csv_ = std::make_unique<CsvWriter>(csv_path);

@@ -16,8 +16,8 @@ namespace saer {
 class FigureWriter {
  public:
   /// `title` is printed above the table; `csv_path` empty disables CSV.
-  FigureWriter(std::string title, std::vector<std::string> columns,
-               std::string csv_path = {});
+  FigureWriter(std::string title, const std::vector<std::string>& columns,
+               const std::string& csv_path = {});
 
   void add_row(const std::vector<std::string>& cells);
 

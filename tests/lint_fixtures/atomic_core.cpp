@@ -1,0 +1,8 @@
+// Fixture: no-atomic must fire when this content is presented under a
+// src/core/ path (the test lints it as "src/core/fake_scatter.cpp") and
+// stay silent when presented under tests/.
+#include <atomic>
+
+struct Counters {
+  std::atomic<unsigned> hits{0};  // line 7: violation (plus line 4's include)
+};

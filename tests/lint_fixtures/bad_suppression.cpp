@@ -1,0 +1,12 @@
+// Fixture: suppression hygiene.  Line 6 carries a suppression with no
+// justification -> bad-suppression AND the banned-rng it failed to excuse.
+#include <cstdlib>
+
+int bad() {
+  return rand();  // saer-lint: allow(banned-rng)
+}
+
+int unknown() {
+  // saer-lint: allow(made-up-rule) -- the rule id does not exist
+  return 7;
+}

@@ -1,0 +1,12 @@
+// Fixture: banned-clock must fire on the ::now() call and the time() call,
+// but not on the string literal or the comment mentioning time().
+#include <chrono>
+#include <ctime>
+
+long stamp() {
+  const char* label = "time() in a string is fine";  // time() in a comment too
+  (void)label;
+  auto t = std::chrono::steady_clock::now();  // line 9: violation one
+  return time(nullptr) +                      // line 10: violation two
+         t.time_since_epoch().count();
+}

@@ -1,0 +1,9 @@
+// Fixture: banned-rng must fire on the random_device, and nowhere else.
+// This file is test data for tests/test_lint.cpp -- it is never compiled,
+// and saer-lint's tree walk skips tests/lint_fixtures/.
+#include <random>
+
+int draw() {
+  std::random_device entropy;  // line 7: the violation
+  return static_cast<int>(entropy());
+}

@@ -1,0 +1,24 @@
+// Fixture: the negative case.  Everything here is legal: counter RNG via
+// a seed parameter, a justified suppression, banned-looking tokens inside
+// strings and comments, and C++14 digit separators (which once derailed
+// the lexer into eating the rest of the file; the separator/::now()
+// interaction is pinned directly in tests/test_lint.cpp).
+#include <cstdint>
+#include <unordered_map>
+
+// rand() and time() in prose never count.
+static const char* kDoc = "call rand() or std::random_device; time()";
+
+std::uint64_t mix(std::uint64_t seed) {
+  const std::uint64_t gold = 0x9e37'79b9'7f4a'7c15ULL;  // digit separators
+  return (seed ^ gold) * 0x2545'f491'4f6c'dd1dULL;
+}
+
+int keyed_lookup(int key) {
+  // saer-lint: allow(unordered-iter) -- keyed access only, test fixture
+  std::unordered_map<int, int> table;
+  table[key] = 1;
+  return table.at(key);
+}
+
+const char* no_clock() { return kDoc; }

@@ -1,0 +1,28 @@
+// Fixture: jsonl-key-order.  A miniature emitter/parser pair in the shape
+// of src/sim/run_record.cpp, with a deliberate drift: the emitter writes
+// "alpha","beta","gamma" but the parser expects "alpha","gamma","beta".
+#include <string>
+
+struct Row {
+  int alpha = 0, beta = 0, gamma = 0;
+};
+
+std::string tiny_row_json(const Row& row) {
+  std::string out = "{\"alpha\":" + std::to_string(row.alpha);
+  out += ",\"beta\":" + std::to_string(row.beta);
+  out += ",\"gamma\":" + std::to_string(row.gamma);
+  out += '}';
+  return out;
+}
+
+Row parse_tiny_row(const std::string& line) {
+  Row row;
+  Cursor cursor(line);
+  cursor.expect_key("alpha");
+  row.alpha = cursor.parse_int();
+  cursor.expect_key("gamma");  // line 23: drift -- emitter writes beta here
+  row.gamma = cursor.parse_int();
+  cursor.expect_key("beta");
+  row.beta = cursor.parse_int();
+  return row;
+}

@@ -1,0 +1,12 @@
+// Fixture: unordered-iter must fire on the declaration (line 7) and on the
+// range-for iteration (line 11) when linted under a src/ path.
+#include <cstdio>
+#include <unordered_map>
+
+void emit_counts() {
+  std::unordered_map<int, int> counts;
+  counts[3] = 1;
+  // The emit loop below visits in bucket order -- the bug this rule exists
+  // to catch.
+  for (const auto& [key, value] : counts) std::printf("%d %d\n", key, value);
+}

@@ -1,0 +1,73 @@
+// saer-lint CLI: walks the tree (or an explicit file list) and prints one
+// `file:line: [rule] message` per violation.  Exit 0 clean, 1 violations,
+// 2 usage/IO error.  See tools/lint/lint.hpp for the rule catalogue and
+// README.md "Static analysis" for the workflow.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: saer-lint [--root <dir>] [--list-rules] [<file>...]\n"
+      "\n"
+      "Determinism-contract static analyzer.  With no files, walks src/,\n"
+      "tests/, bench/, and tools/ under --root (default: the current\n"
+      "directory), cross-checks the JSONL key-order contract of\n"
+      "src/sim/run_record.cpp against README.md, and applies\n"
+      "tools/lint/allowlist.txt.  Files are given repo-relative.\n"
+      "\n"
+      "Suppress one line with a trailing (or directly preceding) comment:\n"
+      "  // saer-lint: allow(<rule>) -- <reason>\n");
+  return to == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(stdout);
+    if (arg == "--list-rules") {
+      for (const std::string& rule : saer::lint::known_rules())
+        std::printf("%s\n", rule.c_str());
+      return 0;
+    }
+    if (arg == "--root") {
+      if (++i == argc) return usage(stderr);
+      root = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "saer-lint: unknown flag '%s'\n", arg.c_str());
+      return usage(stderr);
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  try {
+    const saer::lint::TreeReport report = saer::lint::lint_tree(root, files);
+    for (const saer::lint::Diagnostic& d : report.diagnostics) {
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", d.file.c_str(), d.line,
+                   d.rule.c_str(), d.message.c_str());
+    }
+    if (report.diagnostics.empty()) {
+      std::printf("saer-lint: clean (%zu files scanned)\n",
+                  report.files_scanned);
+      return 0;
+    }
+    std::fprintf(stderr, "saer-lint: %zu violation(s) in %zu scanned files\n",
+                 report.diagnostics.size(), report.files_scanned);
+    return 1;
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "%s\n", err.what());
+    return 2;
+  }
+}
