@@ -1,12 +1,13 @@
 #include "cli/commands.hpp"
 
 #include <algorithm>
-#include <atomic>  // saer-lint: allow(no-atomic) -- SIGTERM stop flag only; see g_serve_stop
+#include <atomic>  // saer-lint: allow(no-atomic) -- SIGTERM stop flags only; see g_serve_stop / g_sweep_stop
 #include <bit>
 #include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 #include <thread>
 
@@ -21,6 +22,7 @@
 #include "graph/implicit_topology.hpp"
 #include "graph/spectral.hpp"
 #include "net/load_injector.hpp"
+#include "net/orchestrator.hpp"
 #include "sim/aggregate.hpp"
 #include "sim/run_record.hpp"
 #include "sim/sweep.hpp"
@@ -108,6 +110,96 @@ std::uint64_t topology_param_key(const std::string& topology, NodeId n,
                      args.get_double("heavy-fraction", 0.05)));
   }
   return h;
+}
+
+/// Builds the sweep grid from sweep-style flags.  Shared by cmd_sweep and
+/// cmd_orchestrate, so the supervisor fingerprints exactly the grid its
+/// `saer sweep --shard i/k` subprocesses will run.  Throws
+/// std::invalid_argument (exit 2 via dispatch) on a bad --protocol.
+std::vector<SweepPoint> build_sweep_grid(const CliArgs& args) {
+  const std::string topology = args.get("topology", "regular");
+  const auto sizes = args.get_uint_list("sizes", {4096});
+  const auto ds = args.get_uint_list("ds", {2});
+  const auto cs = args.get_double_list("cs", {2.0});
+  const std::string protocol = args.get("protocol", "saer");
+  const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
+  const std::uint64_t seed = args.get_uint("seed", 42);
+  const bool share_graph = args.get_bool("share-graph", false);
+  // Memory-lean mode for large-n grids: the engine skips the O(n*d)
+  // assignment vector.  Streams, aggregates, and checkpoints are
+  // byte-identical either way (rows carry only aggregate observables), so
+  // the flag is deliberately NOT part of the grid fingerprint -- a resume
+  // may mix modes freely.
+  const bool no_assignment = args.get_bool("no-assignment", false);
+
+  std::vector<Protocol> protocols;
+  if (protocol == "saer") {
+    protocols = {Protocol::kSaer};
+  } else if (protocol == "raes") {
+    protocols = {Protocol::kRaes};
+  } else if (protocol == "both") {
+    protocols = {Protocol::kSaer, Protocol::kRaes};
+  } else {
+    throw std::invalid_argument("--protocol must be saer, raes, or both");
+  }
+
+  // "implicit-regular" runs the engine's O(1)-topology-memory path: points
+  // carry an ImplicitFactory and never materialize a graph.  Every other
+  // topology (including the "implicit-regular-stored" twin) goes through
+  // the ordinary GraphFactory.  Point labels are topology-free, so an
+  // implicit sweep's CSV/JSONL streams are byte-identical to the stored
+  // twin's -- which is exactly what the CI equivalence gate cmp's.
+  const bool implicit = topology == "implicit-regular";
+
+  std::vector<SweepPoint> grid;
+  for (const std::uint64_t n64 : sizes) {
+    const auto n = static_cast<NodeId>(n64);
+    GraphFactory factory;
+    ImplicitFactory implicit_factory;
+    if (implicit) {
+      const auto delta = static_cast<std::uint32_t>(
+          args.get_uint("delta", theorem_degree(n)));
+      implicit_factory = [n, delta](std::uint64_t topo_seed) {
+        return ImplicitRegularTopology(n, delta, topo_seed);
+      };
+    } else {
+      factory = make_topology_factory(topology, n, args);
+    }
+    for (const std::uint64_t d : ds) {
+      for (const double c : cs) {
+        for (const Protocol proto : protocols) {
+          SweepPoint point;
+          point.label = to_string(proto) + " n=" + std::to_string(n64) +
+                        " d=" + std::to_string(d) + " c=" + Table::num(c, 2);
+          point.factory = factory;
+          point.implicit_factory = implicit_factory;
+          point.config.params.protocol = proto;
+          point.config.params.d = static_cast<std::uint32_t>(d);
+          point.config.params.c = c;
+          point.config.params.store_assignment = !no_assignment;
+          point.config.replications = reps;
+          point.config.master_seed = seed;
+          point.config.resample_graph = !share_graph;
+          point.topology_key = topology_cache_key(
+              topology, n64, topology_param_key(topology, n, args));
+          grid.push_back(std::move(point));
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+/// Set by SIGINT/SIGTERM during `saer sweep`: the scheduler stops picking
+/// up pending runs, finishes the ones in flight, flushes the checkpoint,
+/// and exits 0 -- the graceful-drain contract `saer orchestrate` relies on
+/// when it forwards a stop signal to its shard subprocesses.  Atomic for
+/// the same reason as g_serve_stop below.
+// saer-lint: allow(no-atomic) -- cross-thread signal flag; results are unaffected by when it is observed
+std::atomic<int> g_sweep_stop{0};
+
+void sweep_stop_handler(int) {
+  g_sweep_stop.store(1, std::memory_order_relaxed);
 }
 
 /// Renders per-point aggregates the same way for `sweep` and `aggregate`.
@@ -246,80 +338,13 @@ int cmd_expander(const CliArgs& args) {
 }
 
 int cmd_sweep(const CliArgs& args) {
-  const std::string topology = args.get("topology", "regular");
-  const auto sizes = args.get_uint_list("sizes", {4096});
-  const auto ds = args.get_uint_list("ds", {2});
-  const auto cs = args.get_double_list("cs", {2.0});
-  const std::string protocol = args.get("protocol", "saer");
-  const auto reps = static_cast<std::uint32_t>(args.get_uint("reps", 5));
-  const std::uint64_t seed = args.get_uint("seed", 42);
-  const bool share_graph = args.get_bool("share-graph", false);
   const bool quiet = args.get_bool("quiet", false);
-  // Memory-lean mode for large-n grids: the engine skips the O(n*d)
-  // assignment vector.  Streams, aggregates, and checkpoints are
-  // byte-identical either way (rows carry only aggregate observables), so
-  // the flag is deliberately NOT part of the grid fingerprint -- a resume
-  // may mix modes freely.
-  const bool no_assignment = args.get_bool("no-assignment", false);
+  const std::vector<SweepPoint> grid = build_sweep_grid(args);
 
-  std::vector<Protocol> protocols;
-  if (protocol == "saer") {
-    protocols = {Protocol::kSaer};
-  } else if (protocol == "raes") {
-    protocols = {Protocol::kRaes};
-  } else if (protocol == "both") {
-    protocols = {Protocol::kSaer, Protocol::kRaes};
-  } else {
-    std::fprintf(stderr, "sweep: --protocol must be saer, raes, or both\n");
-    return 2;
-  }
-
-  // "implicit-regular" runs the engine's O(1)-topology-memory path: points
-  // carry an ImplicitFactory and never materialize a graph.  Every other
-  // topology (including the "implicit-regular-stored" twin) goes through
-  // the ordinary GraphFactory.  Point labels are topology-free, so an
-  // implicit sweep's CSV/JSONL streams are byte-identical to the stored
-  // twin's -- which is exactly what the CI equivalence gate cmp's.
-  const bool implicit = topology == "implicit-regular";
-
-  std::vector<SweepPoint> grid;
-  for (const std::uint64_t n64 : sizes) {
-    const auto n = static_cast<NodeId>(n64);
-    GraphFactory factory;
-    ImplicitFactory implicit_factory;
-    if (implicit) {
-      const auto delta = static_cast<std::uint32_t>(
-          args.get_uint("delta", theorem_degree(n)));
-      implicit_factory = [n, delta](std::uint64_t topo_seed) {
-        return ImplicitRegularTopology(n, delta, topo_seed);
-      };
-    } else {
-      factory = make_topology_factory(topology, n, args);
-    }
-    for (const std::uint64_t d : ds) {
-      for (const double c : cs) {
-        for (const Protocol proto : protocols) {
-          SweepPoint point;
-          point.label = to_string(proto) + " n=" + std::to_string(n64) +
-                        " d=" + std::to_string(d) + " c=" + Table::num(c, 2);
-          point.factory = factory;
-          point.implicit_factory = implicit_factory;
-          point.config.params.protocol = proto;
-          point.config.params.d = static_cast<std::uint32_t>(d);
-          point.config.params.c = c;
-          point.config.params.store_assignment = !no_assignment;
-          point.config.replications = reps;
-          point.config.master_seed = seed;
-          point.config.resample_graph = !share_graph;
-          point.topology_key = topology_cache_key(
-              topology, n64, topology_param_key(topology, n, args));
-          grid.push_back(std::move(point));
-        }
-      }
-    }
-  }
-
-  const SweepOptions options = parse_sweep_flags(args);
+  SweepOptions options = parse_sweep_flags(args);
+  options.stop_requested = [] {
+    return g_sweep_stop.load(std::memory_order_relaxed) != 0;
+  };
   const std::string agg_csv = args.get("agg-csv", "");
   args.reject_unknown();
   if (!agg_csv.empty() && options.shard_count > 1) {
@@ -333,7 +358,27 @@ int cmd_sweep(const CliArgs& args) {
                  agg_csv.c_str());
     return 2;
   }
+
+  // Graceful drain on SIGINT/SIGTERM: in-flight runs finish and the
+  // checkpoint stays durable, so a rerun of the identical command resumes
+  // exactly where this one stopped.  Exit 0 is the contract the
+  // orchestrator's stop-signal forwarding depends on.
+  g_sweep_stop.store(0, std::memory_order_relaxed);
+  std::signal(SIGINT, sweep_stop_handler);
+  std::signal(SIGTERM, sweep_stop_handler);
   const SweepResult result = SweepScheduler(options).run(grid);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  if (result.interrupted) {
+    std::printf("sweep: interrupted after %zu/%zu runs in %.3f s%s\n",
+                result.completed_runs, result.total_runs, result.wall_seconds,
+                options.checkpoint_path.empty()
+                    ? ""
+                    : "; rerun the identical command to resume from the "
+                      "checkpoint");
+    return 0;
+  }
 
   const std::vector<PointAggregate> aggregates =
       point_aggregates(grid, result);
@@ -523,9 +568,11 @@ int cmd_serve(const CliArgs& args) {
   if (!options.jsonl_path.empty()) {
     metrics = std::fopen(options.jsonl_path.c_str(), "wb");
     if (!metrics) {
+      // Runtime failure, not a usage error: the flags parsed fine, the
+      // environment refused the path.
       std::fprintf(stderr, "serve: cannot open %s\n",
                    options.jsonl_path.c_str());
-      return 2;
+      return 1;
     }
   }
 
@@ -628,9 +675,185 @@ int cmd_serve(const CliArgs& args) {
   return engine.drained() ? 0 : 1;
 }
 
+namespace {
+
+void orchestrate_stop_handler(int sig) {
+  net::Orchestrator::request_stop(sig);
+}
+
+}  // namespace
+
+int cmd_orchestrate(const CliArgs& args) {
+  namespace fs = std::filesystem;
+  const std::string dir = args.get("dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "orchestrate: --dir <path> is required\n");
+    return 2;
+  }
+  const auto shard_count =
+      static_cast<unsigned>(args.get_uint("shards", 3));
+  if (shard_count == 0) {
+    std::fprintf(stderr, "orchestrate: --shards must be >= 1\n");
+    return 2;
+  }
+
+  // Build the exact grid the shard subprocesses will build from the same
+  // flags: the final phase verifies every shard checkpoint against this
+  // grid's fingerprint before trusting the shard streams.
+  const std::vector<SweepPoint> grid = build_sweep_grid(args);
+
+  net::OrchestrateOptions options;
+  options.retry.max_attempts =
+      static_cast<std::uint32_t>(args.get_uint("retry-max", 5));
+  options.retry.base_delay_ms = args.get_uint("backoff-ms", 250);
+  options.retry.max_delay_ms = args.get_uint("backoff-max-ms", 8000);
+  options.retry.jitter = args.get_double("backoff-jitter", 0.25);
+  options.retry.seed = args.get_uint("retry-seed", 42);
+  options.stall_timeout_s = args.get_double("stall-timeout-s", 30.0);
+  options.poll_interval_ms = args.get_double("poll-interval-ms", 100.0);
+  options.chaos_rate = args.get_double("chaos", 0.0);
+  options.chaos_seed = args.get_uint("chaos-seed", 1);
+  options.drain_grace_s = args.get_double("drain-grace-s", 10.0);
+  options.event_log_path = args.get("events", dir + "/events.jsonl");
+  const bool quiet = args.get_bool("quiet", false);
+  options.echo_events = !quiet;
+
+  const std::string agg_csv = args.get("agg-csv", "");
+  const std::uint64_t shard_jobs = args.get_uint("shard-jobs", 1);
+  const std::uint64_t ckpt_interval = args.get_uint("checkpoint-interval", 1);
+  std::string bin = args.get("saer-bin", "");
+  if (bin.empty()) {
+    std::error_code ec;
+    const fs::path self = fs::read_symlink("/proc/self/exe", ec);
+    bin = ec ? std::string("saer") : self.string();
+  }
+
+  // Grid-shaping flags forwarded verbatim so every shard rebuilds the
+  // identical grid (and therefore the identical checkpoint fingerprint).
+  std::vector<std::string> passthrough;
+  for (const char* flag :
+       {"topology", "sizes", "ds", "cs", "protocol", "reps", "seed", "delta",
+        "radius", "groups", "heavy-delta", "heavy-fraction"}) {
+    const std::string value = args.get(flag, "");
+    if (!value.empty()) {
+      passthrough.push_back(std::string("--") + flag);
+      passthrough.push_back(value);
+    }
+  }
+  for (const char* flag : {"share-graph", "no-assignment"}) {
+    if (args.get_bool(flag, false)) {
+      passthrough.push_back(std::string("--") + flag);
+    }
+  }
+  args.reject_unknown();
+
+  fs::create_directories(dir);
+  const auto shard_path = [&dir](unsigned i, const char* ext) {
+    return dir + "/shard-" + std::to_string(i) + ext;
+  };
+  for (unsigned i = 0; i < shard_count; ++i) {
+    net::ShardProcess shard;
+    shard.argv = {bin, "sweep"};
+    shard.argv.insert(shard.argv.end(), passthrough.begin(),
+                      passthrough.end());
+    const std::vector<std::string> tail = {
+        "--shard",    std::to_string(i) + "/" + std::to_string(shard_count),
+        "--jsonl",    shard_path(i, ".jsonl"),
+        "--checkpoint", shard_path(i, ".ckpt"),
+        "--checkpoint-interval", std::to_string(ckpt_interval),
+        "--jobs",     std::to_string(shard_jobs),
+        "--quiet"};
+    shard.argv.insert(shard.argv.end(), tail.begin(), tail.end());
+    shard.heartbeat_path = shard_path(i, ".ckpt");
+    shard.log_path = shard_path(i, ".log");
+    options.shards.push_back(std::move(shard));
+  }
+
+  if (!quiet) {
+    std::printf("orchestrate: %u shards under %s (retry budget %u, "
+                "backoff %llu..%llu ms, stall timeout %.1f s%s)\n",
+                shard_count, dir.c_str(), options.retry.max_attempts,
+                static_cast<unsigned long long>(options.retry.base_delay_ms),
+                static_cast<unsigned long long>(options.retry.max_delay_ms),
+                options.stall_timeout_s,
+                options.chaos_rate > 0.0 ? ", chaos enabled" : "");
+  }
+
+  net::Orchestrator::clear_stop();
+  std::signal(SIGINT, orchestrate_stop_handler);
+  std::signal(SIGTERM, orchestrate_stop_handler);
+  net::Orchestrator orchestrator(std::move(options));
+  const net::OrchestrateResult result = orchestrator.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  if (result.interrupted) {
+    std::printf("orchestrate: interrupted after %.3f s; %s\n",
+                result.wall_seconds,
+                result.drained_clean
+                    ? "all shards drained cleanly (checkpoints resumable; "
+                      "rerun the identical command to continue)"
+                    : "drain incomplete");
+    std::fputs(result.report().c_str(), stdout);
+    return result.drained_clean ? 0 : 1;
+  }
+  if (!result.all_succeeded) {
+    std::fputs(result.report().c_str(), stderr);
+    std::fprintf(stderr, "orchestrate: job FAILED after %.3f s\n",
+                 result.wall_seconds);
+    return 1;
+  }
+
+  // Final phase: every shard exited 0 -- verify each checkpoint belongs to
+  // this grid and covers its whole slice, then fold the shard streams.
+  const std::uint64_t grid_fp = grid_fingerprint(grid);
+  std::size_t total_runs = 0;
+  for (const SweepPoint& point : grid) total_runs += point.config.replications;
+  std::vector<std::string> shard_jsonls;
+  for (unsigned i = 0; i < shard_count; ++i) {
+    const ShardSpec spec{i, shard_count};
+    const CheckpointInfo info = read_checkpoint_info(shard_path(i, ".ckpt"));
+    const std::uint64_t want_fp = shard_checkpoint_fingerprint(grid_fp, spec);
+    const std::size_t want_runs = shard_run_ranks(total_runs, spec).size();
+    if (!info.header_ok || info.fingerprint != want_fp ||
+        info.completed != want_runs) {
+      std::fprintf(stderr,
+                   "orchestrate: shard %u checkpoint fails verification "
+                   "(header %s, fingerprint %llx vs %llx, %zu/%zu runs)\n",
+                   i, info.header_ok ? "ok" : "BAD",
+                   static_cast<unsigned long long>(info.fingerprint),
+                   static_cast<unsigned long long>(want_fp), info.completed,
+                   want_runs);
+      return 1;
+    }
+    shard_jsonls.push_back(shard_path(i, ".jsonl"));
+  }
+  const AggregateSummary summary =
+      aggregate_jsonl_files(shard_jsonls, JsonlReadOptions{});
+  if (summary.rows_read != total_runs || summary.duplicates != 0 ||
+      summary.truncated_tails != 0) {
+    std::fprintf(stderr,
+                 "orchestrate: shard streams fail verification (%zu/%zu "
+                 "rows, %zu duplicates, %zu truncated tails)\n",
+                 summary.rows_read, total_runs, summary.duplicates,
+                 summary.truncated_tails);
+    return 1;
+  }
+  if (!agg_csv.empty()) {
+    CsvWriter csv(agg_csv);
+    write_aggregate_csv(csv, summary.points);
+  }
+  if (!quiet) print_aggregate_table(summary.points);
+  std::printf("orchestrate: %u shards, %zu runs, %u chaos kills absorbed "
+              "in %.3f s\n",
+              shard_count, summary.rows_read, result.total_chaos_kills,
+              result.wall_seconds);
+  return 0;
+}
+
 std::string usage() {
-  return "usage: saer <generate|stats|run|expander|sweep|aggregate|serve> "
-         "[flags]\n"
+  return "usage: saer <generate|stats|run|expander|sweep|aggregate|"
+         "orchestrate|serve> [flags]\n"
          "  generate  --topology T --n N --out PATH [--delta D] [--seed S]\n"
          "  stats     --graph PATH | --topology T --n N\n"
          "  run       [--graph PATH | --topology T --n N] [--protocol saer|raes]\n"
@@ -655,6 +878,25 @@ std::string usage() {
          "             and --agg-csv is refused per shard)\n"
          "  aggregate RUNS.jsonl [MORE.jsonl ...] | --inputs A.jsonl,B.jsonl\n"
          "            [--csv PATH] [--tolerant] [--quiet]\n"
+         "  orchestrate --dir DIR [--shards K] [sweep grid flags]\n"
+         "            [--agg-csv PATH] [--events PATH] [--shard-jobs N]\n"
+         "            [--checkpoint-interval K] [--retry-max A]\n"
+         "            [--backoff-ms B] [--backoff-max-ms M]\n"
+         "            [--backoff-jitter J] [--retry-seed S]\n"
+         "            [--stall-timeout-s T] [--poll-interval-ms P]\n"
+         "            [--chaos R] [--chaos-seed S] [--drain-grace-s G]\n"
+         "            [--saer-bin PATH] [--quiet]\n"
+         "            (fault-tolerant supervisor: forks K `saer sweep\n"
+         "             --shard i/K --checkpoint ...` subprocesses, restarts\n"
+         "             crashed or stalled shards from their checkpoints\n"
+         "             under capped exponential backoff, and folds the\n"
+         "             shard streams once all succeed -- aggregate output\n"
+         "             is bit-identical to one uninterrupted process;\n"
+         "             --chaos R SIGKILLs live shards at rate R/shard/s on\n"
+         "             a deterministic schedule as a recovery self-test;\n"
+         "             SIGINT/SIGTERM are forwarded to the shards, which\n"
+         "             drain gracefully into resumable checkpoints; every\n"
+         "             lifecycle event is logged to DIR/events.jsonl)\n"
          "  serve     --rate R (--duration-s T | --duration-rounds N)\n"
          "            [--curve constant|poisson|bursty] [--round-us U]\n"
          "            [--burst-factor F --burst-on-s A --burst-off-s B]\n"
@@ -694,13 +936,20 @@ int dispatch(int argc, const char* const* argv) {
     if (command == "expander") return cmd_expander(args);
     if (command == "sweep") return cmd_sweep(args);
     if (command == "aggregate") return cmd_aggregate(args);
+    if (command == "orchestrate") return cmd_orchestrate(args);
     if (command == "serve") return cmd_serve(args);
     std::fprintf(stderr, "unknown command '%s'\n%s", command.c_str(),
                  usage().c_str());
     return 2;
-  } catch (const std::exception& err) {
+  } catch (const std::invalid_argument& err) {
+    // Usage errors (unknown flags, malformed values, impossible
+    // combinations) exit 2; anything that goes wrong while executing a
+    // well-formed command (missing files, I/O failures) exits 1.
     std::fprintf(stderr, "saer %s: %s\n", command.c_str(), err.what());
     return 2;
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "saer %s: %s\n", command.c_str(), err.what());
+    return 1;
   }
 }
 

@@ -15,11 +15,21 @@
 //                 [--share-graph] [--quiet]
 //   saer aggregate runs1.jsonl [runs2.jsonl ...] | --inputs a.jsonl,b.jsonl
 //                 [--csv agg.csv] [--tolerant] [--quiet]
+//   saer orchestrate --dir DIR [--shards K] [sweep grid flags] [--chaos R]
+//                 [--retry-max A] [--backoff-ms B] [--stall-timeout-s T] ...
 //   saer serve    --rate 1000 (--duration-s 10 | --duration-rounds 5000)
 //                 [--curve constant|poisson|bursty] [--failure-rate p]
 //                 [--report-interval-s 1] [--metrics-jsonl m.jsonl] ...
 //
 // `--topology` accepts: regular | ring | grid | trust | almost | complete.
+//
+// Exit-code contract (all commands): 0 = success, 2 = usage error (bad
+// flags, malformed values, impossible combinations -- retrying the same
+// command cannot help), 1 = runtime failure (missing input files, I/O
+// errors, a protocol run or supervised job that did not complete).
+// `saer orchestrate` classifies its shard subprocess exits by the same
+// contract: exit 2 (and the shell's 126/127) is permanent and fails the
+// job immediately; exit 1 or death by signal is retryable.
 //
 // `sweep --checkpoint` makes the grid resumable: re-running the identical
 // command after an interruption skips the runs already streamed and splices
@@ -48,6 +58,14 @@ int cmd_run(const CliArgs& args);
 int cmd_expander(const CliArgs& args);
 int cmd_sweep(const CliArgs& args);
 int cmd_aggregate(const CliArgs& args);
+/// Fault-tolerant supervisor for a distributed sweep: forks one
+/// `saer sweep --shard i/k --checkpoint ...` subprocess per shard,
+/// restarts crashed/stalled shards from their checkpoints under a capped
+/// exponential backoff retry budget, optionally SIGKILLs shards on a
+/// deterministic chaos schedule, and folds the shard streams into
+/// aggregates bit-identical to a single uninterrupted process.  See
+/// net/orchestrator.hpp for the supervision model.
+int cmd_orchestrate(const CliArgs& args);
 /// Long-lived service mode: a DynamicEngine fed by a LoadInjector arrival
 /// stream, with periodic ServeMetricsRow reports (stdout and
 /// --metrics-jsonl) and SIGINT/SIGTERM graceful drain.  See usage().

@@ -1,0 +1,460 @@
+#include "net/orchestrator.hpp"
+
+#include <atomic>  // saer-lint: allow(no-atomic) -- cross-thread signal flag only; see g_orchestrate_stop
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace saer::net {
+
+namespace {
+
+/// Set by request_stop (possibly from a signal handler or another thread),
+/// read by the supervision loop.  Atomic, not sig_atomic_t, for the same
+/// reason as cmd_serve's flag: the store may happen on a different thread
+/// than the loop, which is a data race on a plain global.  Shutdown-only;
+/// no result byte depends on when it is observed.
+// saer-lint: allow(no-atomic) -- cross-thread signal flag; results are unaffected by when it is observed
+std::atomic<int> g_orchestrate_stop{0};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+ExitClass classify_exit(int exit_code, int term_signal) noexcept {
+  if (term_signal > 0) return ExitClass::kRetryable;
+  if (exit_code == 0) return ExitClass::kSuccess;
+  // 2 is the CLI usage-error contract (see cli/commands.cpp); 126/127 are
+  // the shell's cannot-execute/not-found codes, which is what the child
+  // exits with when execvp itself fails.  None of these can succeed on a
+  // retry of the identical command.
+  if (exit_code == 2 || exit_code == 126 || exit_code == 127)
+    return ExitClass::kPermanent;
+  return ExitClass::kRetryable;
+}
+
+bool chaos_fires(const CounterRng& rng, std::uint32_t shard,
+                 std::uint64_t tick, double kill_probability) noexcept {
+  return kill_probability > 0.0 &&
+         rng.uniform01(shard, tick) < kill_probability;
+}
+
+std::string OrchestrateResult::report() const {
+  std::string out;
+  for (const ShardOutcome& s : shards) {
+    out += "orchestrate: shard " + std::to_string(s.shard) + ": ";
+    if (s.succeeded) {
+      out += "ok";
+    } else if (s.gave_up) {
+      out += s.permanent_failure ? "GAVE UP (permanent failure)" : "GAVE UP";
+    } else {
+      out += "incomplete";
+    }
+    out += " after " + std::to_string(s.attempts) + " attempt(s)";
+    if (s.last_signal > 0) {
+      out += " (last killed by signal " + std::to_string(s.last_signal) + ")";
+    } else if (s.last_exit_code >= 0) {
+      out += " (last exit code " + std::to_string(s.last_exit_code) + ")";
+    }
+    out += "; " + std::to_string(s.failures) + " failures, " +
+           std::to_string(s.stalls) + " stalls, " +
+           std::to_string(s.chaos_kills) + " chaos kills\n";
+  }
+  return out;
+}
+
+Orchestrator::Orchestrator(OrchestrateOptions options)
+    : options_(std::move(options)) {}
+
+void Orchestrator::request_stop(int signal) noexcept {
+  g_orchestrate_stop.store(signal, std::memory_order_relaxed);
+}
+
+void Orchestrator::clear_stop() noexcept {
+  g_orchestrate_stop.store(0, std::memory_order_relaxed);
+}
+
+int Orchestrator::stop_requested() noexcept {
+  return g_orchestrate_stop.load(std::memory_order_relaxed);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+namespace {
+
+namespace fs = std::filesystem;
+
+enum class Phase { kWaiting, kRunning, kDone, kFailed };
+
+struct ShardState {
+  Phase phase = Phase::kWaiting;
+  long pid = -1;
+  std::uint64_t restart_at_ms = 0;     ///< kWaiting: earliest respawn time
+  std::uint64_t last_progress_ms = 0;  ///< heartbeat freshness
+  std::uint64_t heartbeat_bytes = 0;   ///< last observed checkpoint size
+  bool chaos_pending = false;  ///< we SIGKILLed it for chaos (no budget)
+  bool stall_pending = false;  ///< we SIGKILLed it for a stall
+  ShardOutcome out;
+};
+
+std::uint64_t file_bytes(const std::string& path) {
+  if (path.empty()) return 0;
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+}  // namespace
+
+OrchestrateResult Orchestrator::run() {
+  if (options_.shards.empty())
+    throw std::invalid_argument("orchestrate: no shards to supervise");
+
+  // Clock and sleep: overridable so the crash-loop tests replay the whole
+  // supervision schedule on a virtual clock.
+  const auto real_start = std::chrono::steady_clock::now();
+  const std::function<std::uint64_t()> now_ms =
+      options_.now_ms ? options_.now_ms
+                      : std::function<std::uint64_t()>([real_start] {
+                          return static_cast<std::uint64_t>(
+                              std::chrono::duration_cast<
+                                  std::chrono::milliseconds>(
+                                  std::chrono::steady_clock::now() -
+                                  real_start)
+                                  .count());
+                        });
+  const std::function<void(std::uint64_t)> sleep_ms =
+      options_.sleep_ms ? options_.sleep_ms
+                        : std::function<void(std::uint64_t)>([](std::uint64_t ms) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(ms));
+                          });
+
+  const auto poll_ms = static_cast<std::uint64_t>(
+      std::max(1.0, std::llround(options_.poll_interval_ms) * 1.0));
+  const std::uint64_t stall_timeout_ms = static_cast<std::uint64_t>(
+      std::llround(std::max(0.0, options_.stall_timeout_s) * 1000.0));
+  const std::uint64_t drain_grace_ms = static_cast<std::uint64_t>(
+      std::llround(std::max(0.0, options_.drain_grace_s) * 1000.0));
+  // Per-tick kill probability: the rate is per live shard per second.
+  const double p_chaos = std::min(
+      1.0, std::max(0.0, options_.chaos_rate) *
+               (static_cast<double>(poll_ms) / 1000.0));
+  const CounterRng chaos_rng(options_.chaos_seed);
+
+  std::unique_ptr<std::FILE, FileCloser> event_log;
+  if (!options_.event_log_path.empty()) {
+    event_log.reset(std::fopen(options_.event_log_path.c_str(), "wb"));
+    if (!event_log) {
+      throw std::runtime_error("orchestrate: cannot open event log " +
+                               options_.event_log_path);
+    }
+  }
+
+  const std::uint64_t start_ms = now_ms();
+  const auto emit = [&](OrchestrateEventRow row) {
+    row.elapsed_ms = now_ms() - start_ms;
+    const std::string line = orchestrate_event_row_json(row);
+    if (event_log) {
+      std::fprintf(event_log.get(), "%s\n", line.c_str());
+      std::fflush(event_log.get());
+    }
+    if (options_.echo_events) std::printf("%s\n", line.c_str());
+    if (options_.on_event) options_.on_event(row);
+  };
+  const auto event = [](const char* name, const ShardState& s) {
+    OrchestrateEventRow row;
+    row.event = name;
+    row.shard = s.out.shard;
+    row.attempt = s.out.attempts;
+    row.pid = s.pid;
+    return row;
+  };
+
+  std::vector<ShardState> states(options_.shards.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    states[i].out.shard = static_cast<std::uint32_t>(i);
+  }
+
+  const auto spawn = [&](ShardState& s, bool restart) {
+    const ShardProcess& proc = options_.shards[s.out.shard];
+    if (proc.argv.empty())
+      throw std::invalid_argument("orchestrate: shard with empty argv");
+    std::vector<char*> argv;
+    argv.reserve(proc.argv.size() + 1);
+    for (const std::string& arg : proc.argv)
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("orchestrate: fork failed");
+    if (pid == 0) {
+      // Child: async-signal-safe calls only between fork and exec.
+      if (!proc.log_path.empty()) {
+        const int fd =
+            ::open(proc.log_path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+        if (fd >= 0) {
+          ::dup2(fd, 1);
+          ::dup2(fd, 2);
+          if (fd > 2) ::close(fd);
+        }
+      }
+      ::execvp(argv[0], argv.data());
+      _exit(127);  // the shell's "cannot execute" convention; kPermanent
+    }
+    s.pid = pid;
+    s.phase = Phase::kRunning;
+    s.out.attempts += 1;
+    s.chaos_pending = false;
+    s.stall_pending = false;
+    s.last_progress_ms = now_ms();
+    s.heartbeat_bytes = file_bytes(proc.heartbeat_path);
+    emit(event(restart ? "restart" : "spawn", s));
+  };
+
+  bool cancel = false;  // a shard gave up: fail the whole job, bounded
+  const auto give_up = [&](ShardState& s, const std::string& why) {
+    s.phase = Phase::kFailed;
+    s.out.gave_up = true;
+    OrchestrateEventRow row = event("give-up", s);
+    row.pid = -1;
+    row.detail = why;
+    emit(row);
+    cancel = true;
+  };
+
+  const auto handle_exit = [&](ShardState& s, int code, int sig,
+                               bool drain_mode) {
+    const bool was_chaos = s.chaos_pending && sig == SIGKILL;
+    const bool was_stall = s.stall_pending && sig == SIGKILL;
+    s.chaos_pending = false;
+    s.stall_pending = false;
+    s.out.last_exit_code = code;
+    s.out.last_signal = sig;
+    OrchestrateEventRow row = event("exit", s);
+    row.exit_code = code;
+    row.term_signal = sig;
+    row.detail = was_chaos   ? "chaos kill"
+                 : was_stall ? "stall kill"
+                 : drain_mode ? "drain"
+                              : "";
+    emit(row);
+    s.pid = -1;
+    if (drain_mode) {
+      // No retries during a drain: record the exit and go terminal.  Exit 0
+      // is `saer sweep`'s graceful-drain contract (checkpoint intact).
+      s.phase = code == 0 ? Phase::kDone : Phase::kFailed;
+      return;
+    }
+    switch (classify_exit(code, sig)) {
+      case ExitClass::kSuccess:
+        s.phase = Phase::kDone;
+        s.out.succeeded = true;
+        emit(event("done", s));
+        return;
+      case ExitClass::kPermanent:
+        s.out.permanent_failure = true;
+        give_up(s, "permanent failure (exit code " + std::to_string(code) +
+                       "); not retried");
+        return;
+      case ExitClass::kRetryable:
+        break;
+    }
+    if (was_chaos) {
+      // The supervisor pulled the trigger itself; recovering costs no
+      // retry budget, and there is nothing to back off from.
+      s.phase = Phase::kWaiting;
+      s.restart_at_ms = now_ms();
+      return;
+    }
+    s.out.failures += 1;
+    if (options_.retry.exhausted(s.out.failures)) {
+      give_up(s, "retry budget exhausted after " +
+                     std::to_string(s.out.failures) + " failures");
+      return;
+    }
+    const std::uint64_t delay =
+        options_.retry.delay_ms(s.out.shard, s.out.failures);
+    s.phase = Phase::kWaiting;
+    s.restart_at_ms = now_ms() + delay;
+  };
+
+  const auto reap = [&](bool drain_mode) {
+    for (ShardState& s : states) {
+      if (s.phase != Phase::kRunning) continue;
+      int status = 0;
+      const pid_t r = ::waitpid(static_cast<pid_t>(s.pid), &status, WNOHANG);
+      if (r != static_cast<pid_t>(s.pid)) continue;  // 0 = still running
+      int code = -1;
+      int sig = 0;
+      if (WIFEXITED(status)) {
+        code = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        sig = WTERMSIG(status);
+      }
+      handle_exit(s, code, sig, drain_mode);
+    }
+  };
+
+  const auto any_running = [&] {
+    for (const ShardState& s : states) {
+      if (s.phase == Phase::kRunning) return true;
+    }
+    return false;
+  };
+
+  // Forward `sig`, wait bounded, escalate to SIGKILL.  Shards waiting on a
+  // backoff restart are simply not respawned.
+  const auto drain = [&](int sig, const char* why) {
+    for (ShardState& s : states) {
+      if (s.phase != Phase::kRunning) continue;
+      OrchestrateEventRow row = event("drain", s);
+      row.term_signal = sig;
+      row.detail = why;
+      emit(row);
+      ::kill(static_cast<pid_t>(s.pid), sig);
+    }
+    const std::uint64_t deadline = now_ms() + drain_grace_ms;
+    while (any_running() && now_ms() < deadline) {
+      reap(true);
+      if (any_running()) sleep_ms(poll_ms);
+    }
+    for (ShardState& s : states) {
+      if (s.phase != Phase::kRunning) continue;
+      ::kill(static_cast<pid_t>(s.pid), SIGKILL);
+      int status = 0;
+      ::waitpid(static_cast<pid_t>(s.pid), &status, 0);
+      const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+      const int killed = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+      handle_exit(s, code, killed, true);
+    }
+    // A shard parked on a backoff restart is terminal now too.
+    for (ShardState& s : states) {
+      if (s.phase == Phase::kWaiting) s.phase = Phase::kFailed;
+    }
+  };
+
+  for (ShardState& s : states) spawn(s, false);
+
+  std::uint64_t tick = 0;
+  bool interrupted = false;
+  while (true) {
+    reap(false);
+
+    const int stop_sig = stop_requested();
+    if (stop_sig != 0) {
+      interrupted = true;
+      drain(stop_sig, "stop signal forwarded");
+      break;
+    }
+    if (cancel) {
+      drain(SIGTERM, "job failed; terminating remaining shards");
+      break;
+    }
+
+    // Stall heartbeat: the checkpoint file of a live shard must keep
+    // changing.  Any size change counts (resume truncation shrinks it).
+    if (stall_timeout_ms > 0) {
+      const std::uint64_t now = now_ms();
+      for (ShardState& s : states) {
+        if (s.phase != Phase::kRunning) continue;
+        const std::string& path = options_.shards[s.out.shard].heartbeat_path;
+        if (path.empty()) continue;
+        const std::uint64_t bytes = file_bytes(path);
+        if (bytes != s.heartbeat_bytes) {
+          s.heartbeat_bytes = bytes;
+          s.last_progress_ms = now;
+        } else if (now - s.last_progress_ms >= stall_timeout_ms &&
+                   !s.stall_pending && !s.chaos_pending) {
+          OrchestrateEventRow row = event("stall", s);
+          row.detail = "no checkpoint progress for " +
+                       std::to_string(now - s.last_progress_ms) + " ms";
+          emit(row);
+          s.out.stalls += 1;
+          s.stall_pending = true;
+          ::kill(static_cast<pid_t>(s.pid), SIGKILL);
+        }
+      }
+    }
+
+    // Chaos injection: one deterministic coin per (shard, tick).
+    if (p_chaos > 0.0) {
+      for (ShardState& s : states) {
+        if (s.phase != Phase::kRunning) continue;
+        if (s.chaos_pending || s.stall_pending) continue;
+        if (!chaos_fires(chaos_rng, s.out.shard, tick, p_chaos)) continue;
+        OrchestrateEventRow row = event("chaos", s);
+        row.term_signal = SIGKILL;
+        row.detail = "injected SIGKILL";
+        emit(row);
+        s.out.chaos_kills += 1;
+        s.chaos_pending = true;
+        ::kill(static_cast<pid_t>(s.pid), SIGKILL);
+      }
+    }
+
+    // Backoff restarts that have come due.
+    {
+      const std::uint64_t now = now_ms();
+      for (ShardState& s : states) {
+        if (s.phase == Phase::kWaiting && now >= s.restart_at_ms) {
+          spawn(s, true);
+        }
+      }
+    }
+
+    bool all_terminal = true;
+    for (const ShardState& s : states) {
+      if (s.phase != Phase::kDone && s.phase != Phase::kFailed) {
+        all_terminal = false;
+        break;
+      }
+    }
+    if (all_terminal) break;
+
+    sleep_ms(poll_ms);
+    ++tick;
+  }
+
+  OrchestrateResult result;
+  result.shards.reserve(states.size());
+  result.all_succeeded = true;
+  result.interrupted = interrupted;
+  result.drained_clean = interrupted;
+  for (const ShardState& s : states) {
+    result.shards.push_back(s.out);
+    result.all_succeeded = result.all_succeeded && s.out.succeeded;
+    result.total_chaos_kills += s.out.chaos_kills;
+    const bool clean = !s.out.gave_up &&
+                       (s.out.succeeded || s.out.last_exit_code == 0);
+    result.drained_clean = result.drained_clean && clean;
+  }
+  result.wall_seconds =
+      static_cast<double>(now_ms() - start_ms) / 1000.0;
+  return result;
+}
+
+#else  // !(__unix__ || __APPLE__)
+
+OrchestrateResult Orchestrator::run() {
+  throw std::runtime_error(
+      "orchestrate: process supervision requires a POSIX platform");
+}
+
+#endif
+
+}  // namespace saer::net

@@ -1,0 +1,148 @@
+#pragma once
+// Fault-tolerant shard supervisor behind `saer orchestrate`: forks one
+// subprocess per shard of a distributed sweep, watches them, and restarts
+// the ones that die or wedge until the whole grid has streamed.
+//
+// Supervision model
+// -----------------
+//  * Liveness by exit status: each poll tick reaps finished children with
+//    waitpid(WNOHANG) and classifies the exit (classify_exit below):
+//    0 = success; 2/126/127 = permanent (usage or unlaunchable -- retrying
+//    cannot help, the job fails immediately); anything else, including
+//    death by signal = retryable.
+//  * Progress by checkpoint heartbeat: a shard whose checkpoint file stops
+//    growing for stall_timeout_s is declared wedged, SIGKILLed, and
+//    restarted -- the checkpoint/resume contract (sim/sweep.hpp)
+//    guarantees the restart continues exactly where the last durable row
+//    left off, so the final streams are byte-identical anyway.
+//  * Restarts under RetryPolicy (util/retry.hpp): capped exponential
+//    backoff with counter-RNG jitter, a per-shard attempt budget.  A
+//    crash-looping shard exhausts its budget, the job cancels the
+//    remaining shards (SIGTERM, bounded wait, SIGKILL escalation) and
+//    fails with a per-shard report -- never an infinite restart loop.
+//  * Chaos self-test: with chaos_rate > 0 the supervisor SIGKILLs random
+//    live shards on a deterministic counter-RNG schedule (chaos_fires).
+//    Chaos kills consume no retry budget (the supervisor knows it pulled
+//    the trigger itself) and respawn promptly; they continuously exercise
+//    the same recovery path real crashes take.
+//  * Signal propagation: request_stop (installed as the SIGINT/SIGTERM
+//    handler by `saer orchestrate`) makes the next tick forward the signal
+//    to every live shard, wait drain_grace_s for clean exits, then
+//    escalate to SIGKILL.  `saer sweep` drains gracefully on those
+//    signals, so the shard checkpoints stay intact and resumable.
+//
+// Every lifecycle transition is emitted as an OrchestrateEventRow
+// (sim/run_record.hpp; strict key order, linted) to the JSONL event log:
+// spawn, restart, exit, stall, chaos, drain, give-up, done.
+//
+// Determinism: the orchestrator itself paces on the wall clock (that is
+// its job; the clock reads never touch result bytes), but both randomized
+// decisions -- backoff jitter and the chaos schedule -- are pure counter-
+// RNG functions, and the test clock hooks (now_ms/sleep_ms) let the
+// crash-loop tests replay an entire supervision schedule virtually.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/run_record.hpp"
+#include "util/retry.hpp"
+#include "util/rng.hpp"
+
+namespace saer::net {
+
+/// One supervised subprocess: the command to exec, the checkpoint file
+/// whose growth is its progress heartbeat, and where to send its output.
+struct ShardProcess {
+  std::vector<std::string> argv;  ///< argv[0] = binary (PATH-resolved)
+  std::string heartbeat_path;     ///< checkpoint watched for progress ("" =
+                                  ///< no stall detection for this shard)
+  std::string log_path;           ///< child stdout+stderr appended here
+                                  ///< ("" = inherit the supervisor's)
+};
+
+/// How an exit status should drive the retry decision.
+enum class ExitClass { kSuccess, kPermanent, kRetryable };
+
+/// exit_code is the normal exit status (-1 if none), term_signal the fatal
+/// signal (0 if none).  Exit 0 succeeds; exit 2 is the CLI usage-error
+/// contract and 126/127 the shell cannot-exec convention -- all permanent;
+/// every other exit and any signal death is retryable.
+[[nodiscard]] ExitClass classify_exit(int exit_code, int term_signal) noexcept;
+
+/// Deterministic chaos schedule: does the counter RNG fire an injected
+/// SIGKILL for (shard, tick)?  Pure function of (rng seed, shard, tick).
+[[nodiscard]] bool chaos_fires(const CounterRng& rng, std::uint32_t shard,
+                               std::uint64_t tick,
+                               double kill_probability) noexcept;
+
+struct OrchestrateOptions {
+  std::vector<ShardProcess> shards;
+  RetryPolicy retry;
+  double stall_timeout_s = 30.0;  ///< heartbeat silence before a stall kill
+                                  ///< (0 disables stall detection)
+  double poll_interval_ms = 100.0;
+  double chaos_rate = 0.0;        ///< expected injected SIGKILLs per live
+                                  ///< shard per second (0 disables)
+  std::uint64_t chaos_seed = 1;
+  double drain_grace_s = 10.0;    ///< bounded wait after forwarding a stop
+                                  ///< signal, before SIGKILL escalation
+  std::string event_log_path;     ///< JSONL supervisor event log ("" = off)
+  bool echo_events = false;       ///< also print each event row to stdout
+  /// Observer hook, called for every event row as it is emitted (tests
+  /// use it to SIGSTOP a freshly spawned shard, count restarts, ...).
+  std::function<void(const OrchestrateEventRow&)> on_event;
+  /// Test clock: monotonic milliseconds.  Null = steady_clock.
+  std::function<std::uint64_t()> now_ms;
+  /// Test sleep, paired with now_ms.  Null = this_thread::sleep_for.
+  std::function<void(std::uint64_t ms)> sleep_ms;
+};
+
+struct ShardOutcome {
+  std::uint32_t shard = 0;
+  bool succeeded = false;         ///< exited 0 outside a drain
+  bool gave_up = false;           ///< budget exhausted or permanent failure
+  bool permanent_failure = false; ///< classified kPermanent (never retried)
+  std::uint32_t attempts = 0;     ///< spawns, including chaos respawns
+  std::uint32_t failures = 0;     ///< retry budget consumed (crashes+stalls)
+  std::uint32_t stalls = 0;       ///< heartbeat stalls detected
+  std::uint32_t chaos_kills = 0;  ///< injected kills absorbed
+  int last_exit_code = -1;        ///< -1 when the last attempt died by signal
+  int last_signal = 0;
+};
+
+struct OrchestrateResult {
+  std::vector<ShardOutcome> shards;
+  bool all_succeeded = false;
+  bool interrupted = false;    ///< a stop signal drained the job
+  bool drained_clean = false;  ///< interrupted and every shard exited 0
+  std::uint32_t total_chaos_kills = 0;
+  double wall_seconds = 0.0;
+
+  /// Per-shard report ("shard 2: GAVE UP after 5 attempts (last exit code
+  /// 1), ..."), one line per shard, for stderr on failure.
+  [[nodiscard]] std::string report() const;
+};
+
+class Orchestrator {
+ public:
+  explicit Orchestrator(OrchestrateOptions options);
+
+  /// Supervises until every shard succeeds, a shard gives up (the job
+  /// cancels and fails), or a stop signal drains it.  POSIX-only; throws
+  /// std::runtime_error elsewhere.
+  [[nodiscard]] OrchestrateResult run();
+
+  /// Async-signal-safe: records a stop request (the signal number) that
+  /// the next poll tick acts on.  Installed as the SIGINT/SIGTERM handler
+  /// by `saer orchestrate`; tests call it from a thread.
+  static void request_stop(int signal) noexcept;
+  static void clear_stop() noexcept;
+  [[nodiscard]] static int stop_requested() noexcept;
+
+ private:
+  OrchestrateOptions options_;
+};
+
+}  // namespace saer::net

@@ -155,6 +155,21 @@ class JsonCursor {
     return value;
   }
 
+  std::int64_t parse_i64() {
+    const std::size_t at = pos_;
+    const bool negative = pos_ < text_.size() && text_[pos_] == '-';
+    if (negative) ++pos_;
+    const std::uint64_t magnitude = parse_u64();
+    const std::uint64_t limit =
+        static_cast<std::uint64_t>(INT64_MAX) + (negative ? 1 : 0);
+    if (magnitude > limit) {
+      pos_ = at;
+      fail("integer out of 64-bit signed range");
+    }
+    return negative ? -static_cast<std::int64_t>(magnitude)
+                    : static_cast<std::int64_t>(magnitude);
+  }
+
   std::uint32_t parse_u32() {
     const std::size_t at = pos_;
     const std::uint64_t value = parse_u64();
@@ -514,6 +529,77 @@ ServeMetricsRow parse_serve_metrics_row(const std::string& line) {
     throw std::runtime_error("serve row: round percentiles out of order");
   if (row.p50_us > row.p99_us || row.p99_us > row.p999_us)
     throw std::runtime_error("serve row: microsecond percentiles out of order");
+  return row;
+}
+
+namespace {
+
+/// The closed set of supervision event names (plain array: keyed lookup
+/// only, and the linter bans unordered containers under src/).
+constexpr const char* kOrchestrateEvents[] = {
+    "spawn", "restart", "exit", "stall", "chaos", "drain", "give-up", "done"};
+
+bool known_orchestrate_event(const std::string& name) {
+  for (const char* candidate : kOrchestrateEvents) {
+    if (name == candidate) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string orchestrate_event_row_json(const OrchestrateEventRow& row) {
+  std::string out = "{\"event\":\"" + json_escape(row.event) + '"';
+  out += ",\"shard\":" + std::to_string(row.shard);
+  out += ",\"attempt\":" + std::to_string(row.attempt);
+  out += ",\"elapsed_ms\":" + std::to_string(row.elapsed_ms);
+  out += ",\"pid\":" + std::to_string(row.pid);
+  out += ",\"exit_code\":" + std::to_string(row.exit_code);
+  out += ",\"term_signal\":" + std::to_string(row.term_signal);
+  out += ",\"detail\":\"" + json_escape(row.detail) + "\"}";
+  return out;
+}
+
+OrchestrateEventRow parse_orchestrate_event_row(const std::string& line) {
+  JsonCursor cursor(line);
+  OrchestrateEventRow row;
+  cursor.expect('{');
+  cursor.expect_key("event");
+  row.event = cursor.parse_string();
+  cursor.expect(',');
+  cursor.expect_key("shard");
+  row.shard = cursor.parse_u32();
+  cursor.expect(',');
+  cursor.expect_key("attempt");
+  row.attempt = cursor.parse_u32();
+  cursor.expect(',');
+  cursor.expect_key("elapsed_ms");
+  row.elapsed_ms = cursor.parse_u64();
+  cursor.expect(',');
+  cursor.expect_key("pid");
+  row.pid = cursor.parse_i64();
+  cursor.expect(',');
+  cursor.expect_key("exit_code");
+  row.exit_code = cursor.parse_i64();
+  cursor.expect(',');
+  cursor.expect_key("term_signal");
+  row.term_signal = cursor.parse_i64();
+  cursor.expect(',');
+  cursor.expect_key("detail");
+  row.detail = cursor.parse_string();
+  cursor.expect('}');
+  cursor.expect_end();
+
+  if (!known_orchestrate_event(row.event))
+    throw std::runtime_error("orchestrate row: unknown event '" + row.event +
+                             "'");
+  if (row.exit_code < -1 || row.exit_code > 255)
+    throw std::runtime_error("orchestrate row: exit_code out of range");
+  if (row.term_signal < 0 || row.term_signal > 64)
+    throw std::runtime_error("orchestrate row: term_signal out of range");
+  if (row.exit_code >= 0 && row.term_signal > 0)
+    throw std::runtime_error(
+        "orchestrate row: exit_code and term_signal are mutually exclusive");
   return row;
 }
 

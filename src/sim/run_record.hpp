@@ -146,6 +146,37 @@ struct ServeMetricsRow {
 /// with a byte offset on malformed input or unknown/reordered keys.
 [[nodiscard]] ServeMetricsRow parse_serve_metrics_row(const std::string& line);
 
+/// One supervision event of a `saer orchestrate` run (see
+/// net/orchestrator.hpp): the event log is a JSONL stream with one row per
+/// lifecycle transition of a shard subprocess, under the same strict
+/// emit/parse discipline as the sweep and serve rows (fixed key order,
+/// validated fields), so the jsonl-key-order lint rule covers it.
+///
+/// `event` is one of: spawn, restart, exit, stall, chaos, drain, give-up,
+/// done.  `exit_code` is -1 unless the shard exited normally;
+/// `term_signal` is 0 unless it died by (or was sent) that signal -- the
+/// two are mutually exclusive, which the parser enforces.
+struct OrchestrateEventRow {
+  std::string event;
+  std::uint32_t shard = 0;
+  std::uint32_t attempt = 0;     ///< 1-based spawn ordinal for this shard
+  std::uint64_t elapsed_ms = 0;  ///< supervisor clock since orchestrate start
+  std::int64_t pid = -1;         ///< -1 when no process is associated
+  std::int64_t exit_code = -1;   ///< -1 = no normal exit (signal, or n/a)
+  std::int64_t term_signal = 0;  ///< > 0: the signal that ended the attempt
+  std::string detail;            ///< free-form context ("budget exhausted")
+};
+
+/// Canonical one-line JSON emission of a supervision event (no newline).
+[[nodiscard]] std::string orchestrate_event_row_json(
+    const OrchestrateEventRow& row);
+
+/// Strict parse of one canonical event row; throws std::runtime_error with
+/// a byte offset on malformed input, unknown/reordered keys, an unknown
+/// event name, or an exit_code/term_signal combination that cannot happen.
+[[nodiscard]] OrchestrateEventRow parse_orchestrate_event_row(
+    const std::string& line);
+
 struct JsonlReadOptions {
   /// Tolerate a truncated final line (a crash mid-append): if the last line
   /// of the stream fails to parse it is skipped instead of throwing.  Every

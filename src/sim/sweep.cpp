@@ -16,6 +16,7 @@
 #include <utility>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -138,9 +139,34 @@ std::uint64_t grid_fingerprint(const std::vector<SweepPoint>& grid) {
   return h ? h : 1;
 }
 
+std::uint64_t shard_checkpoint_fingerprint(std::uint64_t grid_fingerprint,
+                                           const ShardSpec& spec) {
+  if (spec.count <= 1) return grid_fingerprint;
+  const std::uint64_t h =
+      mix64(mix64(grid_fingerprint, spec.count), spec.index);
+  return h ? h : 1;
+}
+
 namespace {
 
 namespace fs = std::filesystem;
+
+/// fsyncs the directory holding `path`, so the file's directory entry --
+/// not just its contents -- survives a host crash.  Best-effort: a
+/// filesystem that cannot open directories read-only just skips it.
+void fsync_parent_dir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const fs::path parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? std::string(".") : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
 
 /// The sweep-level view of one run as streamed to JSONL (trace excluded:
 /// rows archive the observables, not the per-round history).
@@ -195,7 +221,8 @@ class OrderedSink {
   explicit OrderedSink(const Config& config)
       : next_(config.start_index),
         sync_interval_(std::max(1u, config.options->checkpoint_interval)),
-        hook_(&config.options->on_row_streamed) {
+        hook_(&config.options->on_row_streamed),
+        durability_(&config.options->on_durability) {
     const SweepOptions& options = *config.options;
     const bool append = config.start_index > 0;
     if (!options.csv_path.empty()) {
@@ -230,6 +257,14 @@ class OrderedSink {
                      static_cast<unsigned long long>(config.total_runs),
                      static_cast<unsigned long long>(config.fingerprint));
       }
+      // Make the checkpoint durable end to end before any run streams: the
+      // header bytes via the usual stream-then-checkpoint sync, and the
+      // file's very existence via its parent directory.  Without the
+      // directory fsync a host crash can forget a freshly created file
+      // whose contents were synced -- the classic create+fsync gap.
+      sync();
+      fsync_parent_dir(options.checkpoint_path);
+      note("fsync-dir");
     }
   }
 
@@ -305,11 +340,17 @@ class OrderedSink {
     if (csv_) csv_->flush();
     if (jsonl_) jsonl_->flush();
     if (checkpoint_) {
+      note("flush-streams");
       std::fflush(checkpoint_);
 #if defined(__unix__) || defined(__APPLE__)
       ::fsync(fileno(checkpoint_));
 #endif
+      note("fsync-checkpoint");
     }
+  }
+
+  void note(const char* step) {
+    if (*durability_) (*durability_)(step);
   }
 
   std::mutex mutex_;
@@ -321,6 +362,7 @@ class OrderedSink {
   unsigned sync_interval_ = 16;
   unsigned rows_since_sync_ = 0;
   const std::function<void(std::size_t)>* hook_ = nullptr;
+  const std::function<void(const char*)>* durability_ = nullptr;
   bool dead_ = false;
 };
 
@@ -370,18 +412,10 @@ LineScan count_csv_records(const std::string& path, std::size_t max_records) {
   return scan;
 }
 
-struct CheckpointScan {
-  bool header_ok = false;
-  std::size_t total_runs = 0;
-  std::uint64_t fingerprint = 0;
-  std::size_t completed = 0;  ///< contiguous, parseable `run` lines
-};
+}  // namespace
 
-/// Reads a checkpoint file; tolerant of a torn tail (a hard kill can cut
-/// the final append): parsing stops at the first incomplete or malformed
-/// line and everything before it stands.
-CheckpointScan scan_checkpoint(const std::string& path) {
-  CheckpointScan scan;
+CheckpointInfo read_checkpoint_info(const std::string& path) {
+  CheckpointInfo scan;
   std::ifstream in(path, std::ios::binary);
   if (!in) return scan;
   std::stringstream buffer;
@@ -418,6 +452,8 @@ CheckpointScan scan_checkpoint(const std::string& path) {
   return scan;
 }
 
+namespace {
+
 struct ResumePlan {
   std::size_t frontier = 0;        ///< runs [0, frontier) are already done
   std::vector<SweepRunRow> rows;   ///< their reloaded records
@@ -434,7 +470,7 @@ ResumePlan plan_resume(const SweepOptions& options,
                        const std::vector<std::size_t>& shard_ranks,
                        std::uint64_t fingerprint) {
   ResumePlan plan;
-  const CheckpointScan checkpoint = scan_checkpoint(options.checkpoint_path);
+  const CheckpointInfo checkpoint = read_checkpoint_info(options.checkpoint_path);
   if (!checkpoint.header_ok) return plan;  // missing or torn: start fresh
   if (checkpoint.total_runs != shard_ranks.size() ||
       checkpoint.fingerprint != fingerprint) {
@@ -566,11 +602,9 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
   // Fold the shard slice into the fingerprint: a shard's checkpoint names
   // both its index and count, so no other slice (nor an unsharded run) can
   // splice it.
-  std::uint64_t fingerprint = checkpointing ? grid_fingerprint(grid) : 0;
-  if (checkpointing && sharded) {
-    fingerprint = mix64(mix64(fingerprint, shard.count), shard.index);
-    if (!fingerprint) fingerprint = 1;
-  }
+  const std::uint64_t fingerprint =
+      checkpointing ? shard_checkpoint_fingerprint(grid_fingerprint(grid), shard)
+                    : 0;
 
   ResumePlan resume;
   if (checkpointing) {
@@ -586,6 +620,15 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
   for (std::size_t i = 0; i < frontier; ++i) {
     result.runs[i] = from_sweep_row(resume.rows[i]);
   }
+
+  // Cooperative stop: polled once per pending run, right before it starts.
+  // One byte per run marks completion so an interrupted result aggregates
+  // only the runs that actually finished (each task writes only its own
+  // flag, like its SweepRun slot).
+  const std::function<bool()>& stop = options_.stop_requested;
+  const auto stopping = [&stop] { return stop && stop(); };
+  std::vector<unsigned char> completed(shard_ranks.size(), 0);
+  for (std::size_t i = 0; i < frontier; ++i) completed[i] = 1;
 
   ThreadPool pool(options_.jobs);
   result.jobs = pool.size();
@@ -668,8 +711,10 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
       const auto rep =
           static_cast<std::uint32_t>(shard_ranks[index] - offsets[p]);
       SweepRun& slot = result.runs[index];
-      pool.submit([&point, &slot, &sink, &workspaces, shared, p, rep, index,
-                   keep_traces] {
+      unsigned char& done = completed[index];
+      pool.submit([&point, &slot, &sink, &workspaces, &stopping, &done, shared,
+                   p, rep, index, keep_traces] {
+        if (stopping()) return;  // drain: launched tasks finish, rest skip
         const std::uint64_t protocol_seed =
             replication_seed(point.config.master_seed, 2ULL * rep);
         const std::uint64_t graph_seed =
@@ -723,6 +768,7 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
           slot.record.trace.shrink_to_fit();
         }
         if (sink) sink->push(index, slot, point.label);
+        done = 1;
       });
     }
   }
@@ -731,12 +777,16 @@ SweepResult SweepScheduler::run(const std::vector<SweepPoint>& grid) const {
   // Replay slots in (point, replication) order: bit-identical to serial.
   // A shard folds only its own runs; `saer aggregate` over every shard's
   // stream replays the union in the same global order, restoring full-grid
-  // aggregates bit-exactly.
+  // aggregates bit-exactly.  After a drain, only finished runs fold in.
   for (std::size_t p = 0; p < grid.size(); ++p) {
     for (std::size_t i = local_offsets[p]; i < local_offsets[p + 1]; ++i) {
+      if (!completed[i]) continue;
       accumulate(result.aggregates[p], result.runs[i]);
     }
   }
+  result.interrupted = stopping();
+  result.completed_runs = 0;
+  for (const unsigned char flag : completed) result.completed_runs += flag;
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

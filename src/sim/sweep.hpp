@@ -141,6 +141,30 @@ struct ShardSpec {
 /// instead of silently splicing mismatched runs.
 [[nodiscard]] std::uint64_t grid_fingerprint(const std::vector<SweepPoint>& grid);
 
+/// The fingerprint a shard's checkpoint actually records: the grid
+/// fingerprint with (count, index) folded in when count > 1, so shard i can
+/// never resume from shard j's checkpoint (nor a sharded run from an
+/// unsharded one).  The orchestrator uses this to verify that every shard
+/// checkpoint it supervised belongs to the grid it launched.
+[[nodiscard]] std::uint64_t shard_checkpoint_fingerprint(
+    std::uint64_t grid_fingerprint, const ShardSpec& spec);
+
+/// Parsed header and durable frontier of a checkpoint file (format comment
+/// above).  header_ok is false when the file is missing or its header is
+/// torn/corrupt; `completed` counts the contiguous parseable `run` lines.
+struct CheckpointInfo {
+  bool header_ok = false;
+  std::size_t total_runs = 0;     ///< this process's run count (shard-local)
+  std::uint64_t fingerprint = 0;  ///< grid or shard fingerprint (see above)
+  std::size_t completed = 0;      ///< durable write frontier
+};
+
+/// Reads a checkpoint file, tolerant of a torn tail (a hard kill can cut
+/// the final append): parsing stops at the first incomplete or malformed
+/// line and everything before it stands.  Shared by the resume planner and
+/// the orchestrator's progress heartbeat / final verification.
+[[nodiscard]] CheckpointInfo read_checkpoint_info(const std::string& path);
+
 /// Outcome of a single replication.
 struct SweepRun {
   std::uint32_t point = 0;        ///< index into the grid
@@ -165,6 +189,14 @@ struct SweepResult {
   unsigned jobs = 0;                  ///< worker count actually used
   std::size_t resumed_runs = 0;       ///< runs reloaded from a checkpoint
   std::size_t total_runs = 0;         ///< grid-wide run count (all shards)
+  /// True when stop_requested cut the grid short.  completed_runs counts
+  /// the runs actually finished (resumed + computed); with a checkpoint,
+  /// rerunning the identical command resumes from the streamed prefix.
+  /// Aggregates fold only completed runs, so an interrupted result's
+  /// tables are partial -- callers should say so rather than render them
+  /// as final.
+  bool interrupted = false;
+  std::size_t completed_runs = 0;
 };
 
 struct SweepOptions {
@@ -189,6 +221,19 @@ struct SweepOptions {
   /// freezes the streams at that row and aborts the sweep -- the
   /// crash/restart tests use this to simulate a kill mid-grid.
   std::function<void(std::size_t rows_streamed)> on_row_streamed;
+  /// Cooperative stop (the SIGINT/SIGTERM graceful-drain contract): polled
+  /// before each pending run starts.  Once it returns true the scheduler
+  /// launches no further runs, lets in-flight runs finish and stream, and
+  /// returns with result.interrupted = true.  The streams and checkpoint
+  /// then hold a clean prefix, so a checkpointed sweep resumes exactly
+  /// where the drain stopped it.  Null = never stop.
+  std::function<bool()> stop_requested;
+  /// Test hook observing the checkpoint durability sequence, in order:
+  /// "flush-streams" (CSV/JSONL flushed), "fsync-checkpoint" (checkpoint
+  /// fd synced), "fsync-dir" (checkpoint's parent directory synced once,
+  /// right after the file is created, so the directory entry itself
+  /// survives a host crash).  Null = unobserved.
+  std::function<void(const char* step)> on_durability;
 };
 
 /// Applies a raw `--shard` flag value ("" = flag absent, leave unsharded)

@@ -1,0 +1,30 @@
+#include "util/retry.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace saer {
+
+bool RetryPolicy::exhausted(std::uint32_t failures) const noexcept {
+  return failures >= max_attempts;
+}
+
+std::uint64_t RetryPolicy::delay_ms(std::uint64_t stream,
+                                    std::uint32_t failure) const noexcept {
+  if (failure == 0) return 0;
+  // Doubling loop instead of a shift: saturates at the cap without ever
+  // overflowing, for any failure count.
+  std::uint64_t raw = base_delay_ms;
+  for (std::uint32_t k = 1; k < failure && raw < max_delay_ms; ++k) {
+    raw = raw > max_delay_ms / 2 ? max_delay_ms : raw * 2;
+  }
+  if (raw > max_delay_ms) raw = max_delay_ms;
+  if (jitter <= 0.0) return raw;
+  const double u = CounterRng(seed).uniform01(stream, failure);
+  const double factor = 1.0 - jitter + 2.0 * jitter * u;
+  const double scaled = static_cast<double>(raw) * factor;
+  return scaled <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(scaled));
+}
+
+}  // namespace saer

@@ -1,0 +1,39 @@
+#pragma once
+// Capped-exponential-backoff retry policy for the shard orchestrator (and
+// any other supervisor that restarts failed work).
+//
+// Determinism contract: delay_ms(stream, failure) is a pure function of
+// (policy fields, stream, failure) -- the jitter comes from the counter
+// RNG, not a stateful generator or the wall clock -- so a supervision
+// schedule replays identically under the virtual clock the tests drive,
+// and two shards (distinct streams) never thundering-herd on the same
+// jittered delay.
+//
+// Budget semantics: each supervised unit gets `max_attempts` spawns total.
+// Failure k (1-based) schedules restart k after delay_ms(stream, k) when
+// k < max_attempts; failure number max_attempts exhausts the budget and
+// the unit gives up.  A policy with max_attempts = 1 never restarts.
+
+#include <cstdint>
+
+namespace saer {
+
+struct RetryPolicy {
+  std::uint32_t max_attempts = 5;    ///< total spawns budget (>= 1)
+  std::uint64_t base_delay_ms = 250; ///< delay before restart #1
+  std::uint64_t max_delay_ms = 8000; ///< cap on the exponential growth
+  double jitter = 0.25;              ///< symmetric fraction in [0, 1)
+  std::uint64_t seed = 0x5eed;       ///< counter-RNG seed for the jitter
+
+  /// True once `failures` failures have consumed the whole budget.
+  [[nodiscard]] bool exhausted(std::uint32_t failures) const noexcept;
+
+  /// Backoff before restart number `failure` (1-based) of unit `stream`:
+  /// min(max_delay_ms, base_delay_ms * 2^(failure-1)) scaled by a jitter
+  /// factor uniform in [1 - jitter, 1 + jitter) drawn from the counter RNG
+  /// at coordinates (stream, failure).  Pure function; overflow-safe.
+  [[nodiscard]] std::uint64_t delay_ms(std::uint64_t stream,
+                                       std::uint32_t failure) const noexcept;
+};
+
+}  // namespace saer

@@ -281,6 +281,33 @@ TEST_F(CheckpointTest, LabelsWithNewlinesSpliceCorrectly) {
   EXPECT_EQ(read_file(options.jsonl_path), read_file(ref_options.jsonl_path));
 }
 
+TEST_F(CheckpointTest, DurabilityOrderPinsStreamsThenCheckpointThenDir) {
+  // The crash-safety argument depends on a fixed fd-call order: stream
+  // bytes flushed first, then the checkpoint record fsynced, and -- once,
+  // at creation -- the parent directory fsynced so a host crash cannot
+  // forget the checkpoint file itself (the classic create+fsync gap).
+  const auto grid = small_grid();
+  SweepOptions options = stream_options("durable", 1, true);
+  std::vector<std::string> steps;
+  options.on_durability = [&steps](const char* step) {
+    steps.emplace_back(step);
+  };
+  (void)SweepScheduler(options).run(grid);
+
+  ASSERT_GE(steps.size(), 3u);
+  EXPECT_EQ(steps[0], "flush-streams");
+  EXPECT_EQ(steps[1], "fsync-checkpoint");
+  EXPECT_EQ(steps[2], "fsync-dir");
+  // The directory entry is made durable exactly once, at creation; every
+  // later sync is a flush-streams -> fsync-checkpoint pair.
+  EXPECT_EQ(std::count(steps.begin(), steps.end(), "fsync-dir"), 1);
+  for (std::size_t i = 3; i + 1 < steps.size(); i += 2) {
+    EXPECT_EQ(steps[i], "flush-streams") << i;
+    EXPECT_EQ(steps[i + 1], "fsync-checkpoint") << i;
+  }
+  EXPECT_EQ(steps.size() % 2, 1u);  // header pair + dir + N whole pairs
+}
+
 TEST_F(CheckpointTest, MissingJsonlRestartsFromScratch) {
   const auto grid = small_grid();
   SweepOptions options = stream_options("lost", 2, true);

@@ -103,27 +103,64 @@ TEST(CliDispatch, RoutesAndRejects) {
   EXPECT_EQ(cli::dispatch(1, none), 2);
 }
 
-TEST(CliDispatch, ExceptionsBecomeExitCode2) {
+TEST(CliDispatch, RuntimeFailuresBecomeExitCode1) {
+  // Missing input files are runtime failures (exit 1), not usage errors:
+  // the flags parsed fine, the environment refused them.
   const char* bad[] = {"saer", "stats", "--graph", "/nonexistent/graph.txt"};
-  EXPECT_EQ(cli::dispatch(4, bad), 2);
+  EXPECT_EQ(cli::dispatch(4, bad), 1);
 }
 
 TEST(CliUsage, MentionsAllCommands) {
   const std::string text = cli::usage();
-  for (const std::string cmd :
-       {"generate", "stats", "run", "expander", "sweep", "aggregate"})
+  for (const std::string cmd : {"generate", "stats", "run", "expander",
+                                "sweep", "aggregate", "orchestrate", "serve"})
     EXPECT_NE(text.find(cmd), std::string::npos) << cmd;
-  for (const std::string flag : {"--checkpoint", "--tolerant", "--agg-csv"})
+  for (const std::string flag :
+       {"--checkpoint", "--tolerant", "--agg-csv", "--chaos", "--retry-max",
+        "--stall-timeout-s"})
     EXPECT_NE(text.find(flag), std::string::npos) << flag;
 }
+
+TEST(CliOrchestrate, RequiresDirAndPositiveShards) {
+  EXPECT_EQ(cli::cmd_orchestrate(make_args({"--shards", "2"})), 2);
+  EXPECT_EQ(cli::cmd_orchestrate(
+                make_args({"--dir", "/tmp/saer_orch_zero", "--shards", "0"})),
+            2);
+}
+
+TEST(CliOrchestrate, TypodFlagIsUsageError) {
+  const char* argv[] = {"saer",     "orchestrate", "--dir", "/tmp/x",
+                        "--shrads", "2"};
+  EXPECT_EQ(cli::dispatch(6, argv), 2);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(CliOrchestrate, CrashLoopingBinaryFailsJobWithExitCode1) {
+  const auto dir = fs::temp_directory_path() / "saer_orch_false";
+  fs::remove_all(dir);
+  // /bin/false exits 1 (retryable) on every attempt: the retry budget must
+  // exhaust and fail the job in bounded time, never restart forever.
+  const CliArgs args = make_args(
+      {"--dir", dir.string(), "--shards", "2", "--saer-bin", "/bin/false",
+       "--sizes", "64", "--reps", "1", "--retry-max", "2", "--backoff-ms",
+       "1", "--poll-interval-ms", "5", "--quiet"});
+  EXPECT_EQ(cli::cmd_orchestrate(args), 1);
+  // The supervisor logged its give-up decisions.
+  std::ifstream events(dir / "events.jsonl");
+  std::stringstream buf;
+  buf << events.rdbuf();
+  EXPECT_NE(buf.str().find("\"event\":\"give-up\""), std::string::npos);
+  fs::remove_all(dir);
+}
+#endif
 
 TEST(CliAggregate, RequiresInputs) {
   EXPECT_EQ(cli::cmd_aggregate(make_args({})), 2);
 }
 
-TEST(CliAggregate, MissingInputFileIsExitCode2ViaDispatch) {
+TEST(CliAggregate, MissingInputFileIsExitCode1ViaDispatch) {
   const char* argv[] = {"saer", "aggregate", "/nonexistent/runs.jsonl"};
-  EXPECT_EQ(cli::dispatch(3, argv), 2);
+  EXPECT_EQ(cli::dispatch(3, argv), 1);
 }
 
 TEST(CliAggregate, MultiInputDedupMatchesSingleInput) {

@@ -1,0 +1,85 @@
+// Tests for the capped-exponential-backoff retry policy the orchestrator
+// schedules shard restarts with: doubling growth from base_delay_ms,
+// hard cap at max_delay_ms, deterministic counter-RNG jitter, and a
+// budget that exhausts after exactly max_attempts failures.
+
+#include <gtest/gtest.h>
+
+#include "util/retry.hpp"
+
+namespace saer {
+namespace {
+
+RetryPolicy no_jitter() {
+  RetryPolicy p;
+  p.max_attempts = 5;
+  p.base_delay_ms = 100;
+  p.max_delay_ms = 1000;
+  p.jitter = 0.0;
+  return p;
+}
+
+TEST(RetryPolicy, DelaysDoubleFromBaseWithoutJitter) {
+  const RetryPolicy p = no_jitter();
+  EXPECT_EQ(p.delay_ms(0, 1), 100u);
+  EXPECT_EQ(p.delay_ms(0, 2), 200u);
+  EXPECT_EQ(p.delay_ms(0, 3), 400u);
+  EXPECT_EQ(p.delay_ms(0, 4), 800u);
+}
+
+TEST(RetryPolicy, DelaysClampAtMax) {
+  const RetryPolicy p = no_jitter();
+  EXPECT_EQ(p.delay_ms(0, 5), 1000u);
+  EXPECT_EQ(p.delay_ms(0, 20), 1000u);
+  // A max below base clamps the very first delay.
+  RetryPolicy tight = no_jitter();
+  tight.max_delay_ms = 50;
+  EXPECT_EQ(tight.delay_ms(0, 1), 50u);
+}
+
+TEST(RetryPolicy, FailureZeroIsImmediate) {
+  EXPECT_EQ(no_jitter().delay_ms(0, 0), 0u);
+}
+
+TEST(RetryPolicy, JitterStaysWithinFactorBounds) {
+  RetryPolicy p = no_jitter();
+  p.jitter = 0.25;
+  for (std::uint64_t stream = 0; stream < 8; ++stream) {
+    for (std::uint32_t failure = 1; failure <= 4; ++failure) {
+      const std::uint64_t raw = no_jitter().delay_ms(stream, failure);
+      const std::uint64_t jittered = p.delay_ms(stream, failure);
+      EXPECT_GE(jittered, static_cast<std::uint64_t>(0.74 * raw));
+      EXPECT_LE(jittered, static_cast<std::uint64_t>(1.26 * raw) + 1);
+    }
+  }
+}
+
+TEST(RetryPolicy, JitterIsDeterministicPerStreamAndFailure) {
+  RetryPolicy p = no_jitter();
+  p.jitter = 0.5;
+  // Same (seed, stream, failure) -> same delay; the schedule is a pure
+  // counter-RNG function, replayable by the virtual-clock tests.
+  EXPECT_EQ(p.delay_ms(3, 2), p.delay_ms(3, 2));
+  bool any_differs = false;
+  for (std::uint64_t stream = 0; stream < 8; ++stream) {
+    if (p.delay_ms(stream, 2) != p.delay_ms(0, 2)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+  RetryPolicy reseeded = p;
+  reseeded.seed = p.seed + 1;
+  EXPECT_NE(reseeded.delay_ms(3, 2), p.delay_ms(3, 2));
+}
+
+TEST(RetryPolicy, BudgetExhaustsAtMaxAttempts) {
+  const RetryPolicy p = no_jitter();
+  EXPECT_FALSE(p.exhausted(0));
+  EXPECT_FALSE(p.exhausted(4));
+  EXPECT_TRUE(p.exhausted(5));
+  EXPECT_TRUE(p.exhausted(6));
+  RetryPolicy none = p;
+  none.max_attempts = 0;
+  EXPECT_TRUE(none.exhausted(0));
+}
+
+}  // namespace
+}  // namespace saer

@@ -99,6 +99,62 @@ TEST(RunRecord, RejectsCorruptInput) {
   EXPECT_THROW(read_run_record(cut), std::runtime_error);
 }
 
+TEST(OrchestrateEventRowTest, JsonRoundTripIsExact) {
+  OrchestrateEventRow row;
+  row.event = "exit";
+  row.shard = 2;
+  row.attempt = 3;
+  row.elapsed_ms = 4567;
+  row.pid = 12345;
+  row.exit_code = -1;
+  row.term_signal = 9;
+  row.detail = "chaos kill";
+  const std::string line = orchestrate_event_row_json(row);
+  const OrchestrateEventRow parsed = parse_orchestrate_event_row(line);
+  EXPECT_EQ(parsed.event, row.event);
+  EXPECT_EQ(parsed.shard, row.shard);
+  EXPECT_EQ(parsed.attempt, row.attempt);
+  EXPECT_EQ(parsed.elapsed_ms, row.elapsed_ms);
+  EXPECT_EQ(parsed.pid, row.pid);
+  EXPECT_EQ(parsed.exit_code, row.exit_code);
+  EXPECT_EQ(parsed.term_signal, row.term_signal);
+  EXPECT_EQ(parsed.detail, row.detail);
+  EXPECT_EQ(orchestrate_event_row_json(parsed), line);
+}
+
+TEST(OrchestrateEventRowTest, ParserIsStrict) {
+  OrchestrateEventRow row;
+  row.event = "spawn";
+  row.pid = 1;
+  const std::string line = orchestrate_event_row_json(row);
+  EXPECT_NO_THROW(parse_orchestrate_event_row(line));
+  EXPECT_THROW(parse_orchestrate_event_row(line + " "), std::runtime_error);
+  EXPECT_THROW(parse_orchestrate_event_row(line.substr(0, line.size() - 1)),
+               std::runtime_error);
+  // Reordered/renamed keys violate the fixed-order contract.
+  std::string renamed = line;
+  const auto at = renamed.find("\"attempt\"");
+  ASSERT_NE(at, std::string::npos);
+  renamed.replace(at, 9, "\"attmept\"");
+  EXPECT_THROW(parse_orchestrate_event_row(renamed), std::runtime_error);
+
+  // Semantic validation: unknown event names, impossible exit codes, and
+  // a normal exit paired with a fatal signal are rejected as corrupt.
+  OrchestrateEventRow bad = row;
+  bad.event = "spwan";
+  EXPECT_THROW(parse_orchestrate_event_row(orchestrate_event_row_json(bad)),
+               std::runtime_error);
+  bad = row;
+  bad.exit_code = 256;
+  EXPECT_THROW(parse_orchestrate_event_row(orchestrate_event_row_json(bad)),
+               std::runtime_error);
+  bad = row;
+  bad.exit_code = 0;
+  bad.term_signal = 9;
+  EXPECT_THROW(parse_orchestrate_event_row(orchestrate_event_row_json(bad)),
+               std::runtime_error);
+}
+
 TEST(RunRecord, MissingFileThrows) {
   EXPECT_THROW(load_run_record("/nonexistent/rec.txt"), std::runtime_error);
 }

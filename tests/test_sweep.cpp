@@ -349,9 +349,11 @@ TEST(SweepCli, CommandWritesDeterministicStreams) {
 }
 
 TEST(SweepCli, RejectsUnknownProtocol) {
-  const CliArgs args(
-      std::vector<std::string>{"--protocol", "quantum", "--sizes", "64"});
-  EXPECT_EQ(cli::cmd_sweep(args), 2);
+  // Usage error: invalid_argument out of the grid builder becomes exit 2
+  // through dispatch.
+  const char* argv[] = {"saer", "sweep", "--protocol", "quantum", "--sizes",
+                        "64"};
+  EXPECT_EQ(cli::dispatch(6, argv), 2);
 }
 
 }  // namespace
